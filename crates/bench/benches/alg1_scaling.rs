@@ -1,0 +1,68 @@
+//! Criterion bench for Thm 4's runtime claim: Algorithm 1 performs
+//! `O(M · n)` oracle evaluations — wall time should scale roughly
+//! linearly in both the host size `n` (per evaluation cost ignored) and
+//! the channel budget `M`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcg_core::greedy::greedy_fixed_lock;
+use lcg_core::utility::{RevenueMode, UtilityOracle, UtilityParams};
+use lcg_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn oracle_for(n: usize, mode: RevenueMode) -> UtilityOracle {
+    let mut rng = StdRng::seed_from_u64(42);
+    let host = generators::barabasi_albert(n, 2, &mut rng);
+    let bound = host.node_bound();
+    let params = UtilityParams {
+        revenue_mode: mode,
+        ..UtilityParams::default()
+    };
+    UtilityOracle::new(host, vec![1.0; bound], params)
+}
+
+fn bench_alg1_host_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/host_size");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        // Fixed-rate mode isolates the selection loop (cheap oracle).
+        let oracle = oracle_for(n, RevenueMode::FixedPerChannel);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| greedy_fixed_lock(&oracle, 6.0, 1.0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg1_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/budget_M");
+    group.sample_size(10);
+    let oracle = oracle_for(32, RevenueMode::FixedPerChannel);
+    for m in [1usize, 2, 4, 8] {
+        let budget = (m as f64) * 2.0; // C + lock = 2 per channel
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bch, _| {
+            bch.iter(|| greedy_fixed_lock(&oracle, budget, 1.0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg1_exact_revenue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/exact_revenue_oracle");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        let oracle = oracle_for(n, RevenueMode::Intermediary);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| greedy_fixed_lock(&oracle, 4.0, 1.0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alg1_host_size,
+    bench_alg1_budget,
+    bench_alg1_exact_revenue
+);
+criterion_main!(benches);

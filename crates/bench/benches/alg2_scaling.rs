@@ -1,0 +1,68 @@
+//! Criterion bench for Thm 5's runtime claim: Algorithm 2 explores
+//! `T ≈ C(B/m, B/C + 1)` divisions — runtime blows up as the granularity
+//! `m` shrinks or the budget grows, the trade-off §III-C highlights.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcg_core::exhaustive::{exhaustive_search, ExhaustiveConfig};
+use lcg_core::utility::{RevenueMode, UtilityOracle, UtilityParams};
+use lcg_graph::generators;
+
+fn oracle() -> UtilityOracle {
+    let host = generators::star(5);
+    let n = host.node_bound();
+    let params = UtilityParams {
+        min_usable_lock: 1.0,
+        revenue_mode: RevenueMode::FixedPerChannel,
+        ..UtilityParams::default()
+    };
+    UtilityOracle::new(host, vec![1.0; n], params)
+}
+
+fn bench_alg2_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2/granularity");
+    group.sample_size(10);
+    let oracle = oracle();
+    for m in [2.0f64, 1.0, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bch, &m| {
+            bch.iter(|| {
+                exhaustive_search(
+                    &oracle,
+                    ExhaustiveConfig {
+                        budget: 4.0,
+                        granularity: m,
+                        max_divisions: None,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg2_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2/budget");
+    group.sample_size(10);
+    let oracle = oracle();
+    for budget in [3.0f64, 4.0, 5.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |bch, &budget| {
+                bch.iter(|| {
+                    exhaustive_search(
+                        &oracle,
+                        ExhaustiveConfig {
+                            budget,
+                            granularity: 1.0,
+                            max_divisions: None,
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg2_granularity, bench_alg2_budget);
+criterion_main!(benches);

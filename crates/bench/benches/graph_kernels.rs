@@ -1,0 +1,55 @@
+//! Criterion bench for the substrate kernels the estimators rest on:
+//! weighted Brandes betweenness (the §II-B claim that rates are
+//! estimable efficiently), all-pairs BFS, and the per-sender Zipf matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcg_core::zipf::{pair_probabilities, ZipfVariant};
+use lcg_graph::betweenness::weighted_edge_betweenness;
+use lcg_graph::bfs::all_pairs_distances;
+use lcg_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn host(n: usize) -> generators::Topology {
+    let mut rng = StdRng::seed_from_u64(7);
+    generators::barabasi_albert(n, 2, &mut rng)
+}
+
+fn bench_betweenness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/weighted_edge_betweenness");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let g = host(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| weighted_edge_betweenness(&g, |s, r| 1.0 + (s.index() + r.index()) as f64));
+        });
+    }
+    group.finish();
+}
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/all_pairs_bfs");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let g = host(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| all_pairs_distances(&g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_zipf_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/zipf_pair_matrix");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let g = host(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| pair_probabilities(&g, 1.0, ZipfVariant::Averaged));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_betweenness, bench_apsp, bench_zipf_matrix);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates experiment `e13_ablations` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e13_ablations::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

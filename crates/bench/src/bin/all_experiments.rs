@@ -1,0 +1,23 @@
+//! Runs every experiment E1–E12 and prints a final summary; exit code 0
+//! iff all shape verdicts passed.
+fn main() {
+    let reports = lcg_bench::experiments::all();
+    let mut failed = 0;
+    for r in &reports {
+        println!("{r}\n");
+    }
+    println!("==== summary ====");
+    for r in &reports {
+        let ok = r.all_passed();
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "{:<4} {:<55} {}",
+            r.id,
+            r.title,
+            if ok { "PASS" } else { "FAIL" }
+        );
+    }
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

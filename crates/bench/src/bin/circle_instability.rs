@@ -1,0 +1,6 @@
+//! Regenerates experiment `e11_circle` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e11_circle::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

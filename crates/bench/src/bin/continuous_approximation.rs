@@ -1,0 +1,6 @@
+//! Regenerates experiment `e07_continuous` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e07_continuous::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `e06_exhaustive` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e06_exhaustive::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

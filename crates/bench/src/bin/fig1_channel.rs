@@ -1,0 +1,6 @@
+//! Regenerates experiment `e01_fig1` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e01_fig1::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

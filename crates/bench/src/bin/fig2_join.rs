@@ -1,0 +1,6 @@
+//! Regenerates experiment `e02_fig2` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e02_fig2::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `e05_greedy` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e05_greedy::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

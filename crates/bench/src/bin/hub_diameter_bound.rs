@@ -1,0 +1,6 @@
+//! Regenerates experiment `e08_hub_bound` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e08_hub_bound::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

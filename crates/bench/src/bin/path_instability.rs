@@ -1,0 +1,6 @@
+//! Regenerates experiment `e10_path` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e10_path::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `e12_rates` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e12_rates::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

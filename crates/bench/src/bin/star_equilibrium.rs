@@ -1,0 +1,6 @@
+//! Regenerates experiment `e09_star` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e09_star::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `e04_utility_properties` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e04_utility_properties::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `e03_zipf` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e03_zipf::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

@@ -1,0 +1,104 @@
+//! E1 — Figure 1: payment-channel semantics.
+//!
+//! The paper's Figure 1 walks a channel between `u` and `v` from balances
+//! `(10, 7)` through payments of size 5 to `(0, 17)`, with a payment of 6
+//! rejected at `(5, 12)` because it exceeds `b_u = 5`. We replay the
+//! sequence on the standalone [`Channel`] and again through the full
+//! network stack ([`Pcn`] with a direct channel) and check both agree with
+//! the figure.
+
+use crate::report::{fmt_f, ExperimentReport, Table, Verdict};
+use lcg_sim::channel::{Channel, Side};
+use lcg_sim::fees::FeeFunction;
+use lcg_sim::network::Pcn;
+use lcg_sim::onchain::CostModel;
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new("E1", "Figure 1 — channel payment semantics");
+
+    // --- standalone channel ---
+    let mut table = Table::new(["step", "payment u→v", "outcome", "b_u", "b_v"]);
+    let mut ch = Channel::new(10.0, 7.0);
+    table.push_row(["open", "-", "-", &fmt_f(ch.balance(Side::A)), &fmt_f(ch.balance(Side::B))]);
+    let mut checks = Vec::new();
+
+    let r1 = ch.pay(Side::A, 5.0);
+    table.push_row([
+        "1",
+        "5",
+        if r1.is_ok() { "ok" } else { "rejected" },
+        &fmt_f(ch.balance(Side::A)),
+        &fmt_f(ch.balance(Side::B)),
+    ]);
+    checks.push(r1.is_ok() && ch.balance(Side::A) == 5.0 && ch.balance(Side::B) == 12.0);
+
+    let r2 = ch.pay(Side::A, 6.0);
+    table.push_row([
+        "2",
+        "6",
+        if r2.is_ok() { "ok" } else { "rejected" },
+        &fmt_f(ch.balance(Side::A)),
+        &fmt_f(ch.balance(Side::B)),
+    ]);
+    checks.push(r2.is_err() && ch.balance(Side::A) == 5.0);
+
+    let r3 = ch.pay(Side::A, 5.0);
+    table.push_row([
+        "3",
+        "5",
+        if r3.is_ok() { "ok" } else { "rejected" },
+        &fmt_f(ch.balance(Side::A)),
+        &fmt_f(ch.balance(Side::B)),
+    ]);
+    checks.push(r3.is_ok() && ch.balance(Side::A) == 0.0 && ch.balance(Side::B) == 17.0);
+
+    report.add_table("standalone channel (paper Fig. 1)", table);
+    report.add_verdict(Verdict::new(
+        "Fig. 1: (10,7) → (5,12) → reject 6 (> b_u = 5) → (0,17)",
+        checks.iter().all(|&c| c),
+        format!("step outcomes: {checks:?}"),
+    ));
+
+    // --- through the network stack ---
+    let mut pcn = Pcn::new(CostModel::new(1.0, 0.0), FeeFunction::Constant { fee: 0.0 });
+    let u = pcn.add_node();
+    let v = pcn.add_node();
+    pcn.open_channel(u, v, 10.0, 7.0);
+    let seq = [(5.0, true), (6.0, false), (5.0, true)];
+    let mut net_table = Table::new(["payment u→v", "expected", "observed"]);
+    let mut net_ok = true;
+    for (amount, expect_ok) in seq {
+        let got = pcn.pay(u, v, amount).is_ok();
+        net_ok &= got == expect_ok;
+        net_table.push_row([
+            fmt_f(amount),
+            if expect_ok { "ok" } else { "rejected" }.to_string(),
+            if got { "ok" } else { "rejected" }.to_string(),
+        ]);
+    }
+    let e_uv = pcn.graph().find_edge(u, v).expect("channel exists");
+    let e_vu = pcn.reverse_edge(e_uv).expect("twin exists");
+    net_ok &= pcn.balance(e_uv) == Some(0.0) && pcn.balance(e_vu) == Some(17.0);
+    report.add_table("same sequence through the Pcn routing stack", net_table);
+    report.add_verdict(Verdict::new(
+        "Pcn single-channel payments reproduce the figure",
+        net_ok,
+        format!(
+            "final balances ({}, {})",
+            fmt_f(pcn.balance(e_uv).unwrap_or(f64::NAN)),
+            fmt_f(pcn.balance(e_vu).unwrap_or(f64::NAN))
+        ),
+    ));
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn experiment_passes() {
+        let report = super::run();
+        assert!(report.all_passed(), "{report}");
+    }
+}

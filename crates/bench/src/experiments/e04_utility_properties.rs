@@ -1,0 +1,186 @@
+//! E4 — Thm 1–3: structural properties of the utility function.
+//!
+//! * Thm 1 states `U_uS` is submodular; the proof holds the per-channel
+//!   rates fixed. We measure submodularity violations of `U'` under all
+//!   three revenue readings on random instances: the fixed-rate surrogate
+//!   must show **zero** violations; the exact intermediary reading is
+//!   expected to violate (a single channel earns nothing, two can earn a
+//!   lot — the complementarity visible in Fig. 2).
+//! * Thm 2: `U'` is monotone increasing (all readings), `U` is not.
+//! * Thm 3: `U` is not necessarily non-negative.
+
+use crate::report::{fmt_f, ExperimentReport, Table, Verdict};
+use lcg_core::strategy::{Action, Strategy};
+use lcg_core::utility::{RevenueMode, UtilityOracle, UtilityParams};
+use lcg_graph::generators;
+use lcg_sim::onchain::CostModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+struct Violation {
+    submodular: usize,
+    monotone_up: usize,
+    trials: usize,
+}
+
+/// Samples chains S1 ⊆ S2, X ∉ S2 and counts property violations of the
+/// map `strategy ↦ value`.
+fn sample_violations<F: Fn(&Strategy) -> f64>(
+    oracle: &UtilityOracle,
+    value: F,
+    trials: usize,
+    rng: &mut StdRng,
+) -> Violation {
+    let candidates = oracle.candidates();
+    let mut v = Violation {
+        submodular: 0,
+        monotone_up: 0,
+        trials,
+    };
+    for _ in 0..trials {
+        let mut pool = candidates.clone();
+        pool.shuffle(rng);
+        let k2 = rng.gen_range(2..=(pool.len() - 1).max(2)).min(pool.len() - 1);
+        let k1 = rng.gen_range(1..=k2);
+        let lock = 1.0;
+        let s2: Strategy = pool[..k2].iter().map(|&t| Action::new(t, lock)).collect();
+        let s1: Strategy = pool[..k1].iter().map(|&t| Action::new(t, lock)).collect();
+        let x = Action::new(pool[k2], lock);
+        let f_s1 = value(&s1);
+        let f_s2 = value(&s2);
+        let f_s1x = value(&s1.with(x));
+        let f_s2x = value(&s2.with(x));
+        // Submodularity: f(S1∪X) − f(S1) ≥ f(S2∪X) − f(S2). Skip chains
+        // touching ±∞ (the disconnected convention breaks arithmetic).
+        if [f_s1, f_s2, f_s1x, f_s2x].iter().all(|x| x.is_finite()) {
+            if (f_s1x - f_s1) + 1e-9 < (f_s2x - f_s2) {
+                v.submodular += 1;
+            }
+            if f_s2x + 1e-9 < f_s2 {
+                v.monotone_up += 1;
+            }
+        }
+    }
+    v
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new("E4", "Thm 1–3 — utility function properties");
+    let mut rng = StdRng::seed_from_u64(1004);
+    let trials = 300;
+
+    let mut table = Table::new([
+        "host",
+        "revenue mode",
+        "submodularity violations",
+        "U' monotonicity violations",
+        "chains sampled",
+    ]);
+    let mut fixed_mode_clean = true;
+    let mut monotone_clean = true;
+    let mut exact_violations = 0usize;
+
+    let hosts: Vec<(&str, generators::Topology)> = vec![
+        ("BA(12,2)", generators::barabasi_albert(12, 2, &mut rng)),
+        ("cycle(10)", generators::cycle(10)),
+        (
+            "ER(10,0.4)",
+            generators::connected_erdos_renyi(10, 0.4, &mut rng, 500).expect("connected sample"),
+        ),
+    ];
+    for (name, host) in &hosts {
+        for mode in [
+            RevenueMode::FixedPerChannel,
+            RevenueMode::Intermediary,
+            RevenueMode::IncidentEdges,
+        ] {
+            let n = host.node_bound();
+            let params = UtilityParams {
+                revenue_mode: mode,
+                ..UtilityParams::default()
+            };
+            let oracle = UtilityOracle::new(host.clone(), vec![1.0; n], params);
+            let v = sample_violations(&oracle, |s| oracle.simplified_utility(s), trials, &mut rng);
+            table.push_row([
+                name.to_string(),
+                format!("{mode:?}"),
+                v.submodular.to_string(),
+                v.monotone_up.to_string(),
+                v.trials.to_string(),
+            ]);
+            if mode == RevenueMode::FixedPerChannel {
+                fixed_mode_clean &= v.submodular == 0;
+            }
+            if mode == RevenueMode::Intermediary {
+                exact_violations += v.submodular;
+            }
+            monotone_clean &= v.monotone_up == 0;
+        }
+    }
+    report.add_table("U' structural properties (sampled chains)", table);
+    report.add_verdict(Verdict::new(
+        "Thm 1 (as proved, fixed rates): U' submodular — zero violations",
+        fixed_mode_clean,
+        "the proof's fixed-λ assumption makes revenue modular",
+    ));
+    report.add_verdict(Verdict::new(
+        "Thm 2: U' monotone increasing — zero violations in every mode",
+        monotone_clean,
+        "distances only shrink, u-paths only gain share",
+    ));
+    report.add_verdict(Verdict::new(
+        "exact intermediary revenue is NOT submodular (expected complementarity)",
+        exact_violations > 0,
+        format!("{exact_violations} violating chains — single channels earn nothing, pairs do (cf. Fig. 2)"),
+    ));
+
+    // Thm 2 (second half) + Thm 3 on the full utility U: exhibit witnesses.
+    let host = generators::star(6);
+    let n = host.node_bound();
+    let params = UtilityParams {
+        cost: CostModel::new(1.0, 0.5),
+        ..UtilityParams::default()
+    };
+    let oracle = UtilityOracle::new(host, vec![1.0; n], params);
+    let small = Strategy::from_pairs(&[(lcg_graph::NodeId(0), 1.0)]);
+    let big: Strategy = (0..=5)
+        .map(|i| Action::new(lcg_graph::NodeId(i), 3.0))
+        .collect();
+    let u_small = oracle.utility(&small);
+    let u_big = oracle.utility(&big);
+    let mut wit = Table::new(["strategy", "U", "U'"]);
+    wit.push_row([
+        "{hub, lock 1}".to_string(),
+        fmt_f(u_small),
+        fmt_f(oracle.simplified_utility(&small)),
+    ]);
+    wit.push_row([
+        "{all 6 nodes, lock 3}".to_string(),
+        fmt_f(u_big),
+        fmt_f(oracle.simplified_utility(&big)),
+    ]);
+    report.add_table("witnesses on star(6), opportunity rate 0.5", wit);
+    report.add_verdict(Verdict::new(
+        "Thm 2: U is non-monotone (superset with lower utility exists)",
+        u_big < u_small,
+        format!("U(big) = {} < U(small) = {}", fmt_f(u_big), fmt_f(u_small)),
+    ));
+    report.add_verdict(Verdict::new(
+        "Thm 3: U can be negative",
+        u_big < 0.0,
+        format!("channel costs overwhelm routing gains: U = {}", fmt_f(u_big)),
+    ));
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn experiment_passes() {
+        let report = super::run();
+        assert!(report.all_passed(), "{report}");
+    }
+}

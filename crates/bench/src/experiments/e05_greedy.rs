@@ -1,0 +1,143 @@
+//! E5 — Thm 4 / Algorithm 1: greedy approximation quality and cost.
+//!
+//! Claims:
+//! 1. Under the fixed-rate revenue model (where Thm 1's submodularity
+//!    holds exactly), greedy ≥ (1 − 1/e)·OPT on every instance.
+//! 2. Under the exact intermediary model the ratio is measured (the
+//!    guarantee does not transfer; we report the observed minimum).
+//! 3. The work is `O(M · n)` oracle evaluations: step `k` scans the
+//!    `n − k + 1` remaining candidates.
+
+use crate::report::{fmt_f, ExperimentReport, Table, Verdict};
+use lcg_core::bruteforce::optimal_fixed_lock;
+use lcg_core::greedy::greedy_fixed_lock;
+use lcg_core::utility::{Objective, RevenueMode, UtilityOracle, UtilityParams};
+use lcg_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RATIO_FLOOR: f64 = 1.0 - 0.36787944117144233; // 1 - 1/e
+
+fn hosts(rng: &mut StdRng) -> Vec<(String, generators::Topology)> {
+    let mut out: Vec<(String, generators::Topology)> = vec![
+        ("star(7)".into(), generators::star(7)),
+        ("cycle(8)".into(), generators::cycle(8)),
+        ("path(8)".into(), generators::path(8)),
+        ("BA(10,2)".into(), generators::barabasi_albert(10, 2, rng)),
+    ];
+    for i in 0..3 {
+        if let Some(g) = generators::connected_erdos_renyi(9, 0.35, rng, 500) {
+            out.push((format!("ER(9,0.35)#{i}"), g));
+        }
+    }
+    out
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new("E5", "Thm 4 / Algorithm 1 — greedy, fixed funds");
+    let mut rng = StdRng::seed_from_u64(1005);
+    let budget = 6.0;
+    let lock = 1.0;
+
+    let mut table = Table::new([
+        "host",
+        "mode",
+        "greedy U'",
+        "OPT U'",
+        "ratio",
+        "evals",
+        "M·n bound",
+    ]);
+    let mut fixed_ok = true;
+    let mut never_exceeds = true;
+    let mut evals_linear = true;
+    let mut min_exact_ratio = f64::INFINITY;
+
+    for (name, host) in hosts(&mut rng) {
+        for mode in [RevenueMode::FixedPerChannel, RevenueMode::Intermediary] {
+            let n = host.node_bound();
+            let params = UtilityParams {
+                revenue_mode: mode,
+                ..UtilityParams::default()
+            };
+            let oracle = UtilityOracle::new(host.clone(), vec![1.0; n], params);
+            let greedy = greedy_fixed_lock(&oracle, budget, lock);
+            let opt = optimal_fixed_lock(&oracle, budget, lock, Objective::Simplified);
+            let ratio = if opt.value > 0.0 {
+                greedy.simplified_utility / opt.value
+            } else {
+                1.0
+            };
+            let m = (budget / (oracle.params().cost.onchain_fee + lock)).floor() as u64;
+            let bound = m * n as u64;
+            table.push_row([
+                name.clone(),
+                format!("{mode:?}"),
+                fmt_f(greedy.simplified_utility),
+                fmt_f(opt.value),
+                fmt_f(ratio),
+                greedy.evaluations.to_string(),
+                bound.to_string(),
+            ]);
+            never_exceeds &= greedy.simplified_utility <= opt.value + 1e-9;
+            evals_linear &= greedy.evaluations <= bound;
+            match mode {
+                RevenueMode::FixedPerChannel => {
+                    if opt.value > 0.0 {
+                        fixed_ok &= ratio >= RATIO_FLOOR - 1e-9;
+                    }
+                }
+                _ => {
+                    // Ratios against a near-zero optimum are meaningless
+                    // (a tiny additive gap explodes them); measure only
+                    // where the optimum is solidly positive.
+                    if opt.value > 0.01 {
+                        min_exact_ratio = min_exact_ratio.min(ratio);
+                    }
+                }
+            }
+        }
+    }
+    report.add_table(
+        format!("greedy vs exact optimum (budget {budget}, lock {lock})"),
+        table,
+    );
+    report.add_verdict(Verdict::new(
+        "Thm 4 guarantee ratio ≥ 1 − 1/e under the fixed-rate model",
+        fixed_ok,
+        format!("floor {}", fmt_f(RATIO_FLOOR)),
+    ));
+    report.add_verdict(Verdict::new(
+        "greedy never exceeds the optimum (sanity)",
+        never_exceeds,
+        "upper bound respected on every instance",
+    ));
+    report.add_verdict(Verdict::new(
+        "Thm 4 cost: evaluations ≤ M·n on every instance",
+        evals_linear,
+        "linear oracle complexity",
+    ));
+    report.add_verdict(Verdict::new(
+        "exact-revenue ratio measured (guarantee does not transfer)",
+        min_exact_ratio.is_finite() && min_exact_ratio > 0.0,
+        format!(
+            "observed minimum ratio {} over instances with OPT > 0.01 \
+             (paper's bound {} is proved for the fixed-rate surrogate only; \
+             near-zero optima make ratios meaningless and are excluded)",
+            fmt_f(min_exact_ratio),
+            fmt_f(RATIO_FLOOR)
+        ),
+    ));
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn experiment_passes() {
+        let report = super::run();
+        assert!(report.all_passed(), "{report}");
+    }
+}

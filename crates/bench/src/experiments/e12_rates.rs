@@ -1,0 +1,140 @@
+//! E12 — §II-B: the analytic rate estimator vs the running simulator.
+//!
+//! The paper's algorithms consume the edge rates `λ_e = N·p_e` (Eq. 2) and
+//! the revenue rates of Eq. 3 as *estimates*. This experiment closes the
+//! loop: generate the exact workload the model describes (Zipf receiver
+//! choice, Poisson arrivals), push it through the discrete-event simulator
+//! with generous balances (the estimator assumes capacities never bind),
+//! and compare observed edge-usage and node-revenue rates against the
+//! analytic predictions.
+
+use crate::report::{fmt_f, ExperimentReport, Table, Verdict};
+use lcg_core::rates::TransactionModel;
+use lcg_core::zipf::ZipfVariant;
+use lcg_graph::generators;
+use lcg_sim::engine::simulate;
+use lcg_sim::fees::{FeeFunction, TxSizeDistribution};
+use lcg_sim::network::Pcn;
+use lcg_sim::onchain::CostModel;
+use lcg_sim::workload::WorkloadBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TXS: usize = 60_000;
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new("E12", "§II-B — λ_e estimator vs simulation");
+    let mut rng = StdRng::seed_from_u64(1012);
+    let favg = 0.01;
+
+    let mut summary = Table::new([
+        "host",
+        "edges",
+        "mean |rel err| (λ_e, top half)",
+        "rev rate rel err (best earner)",
+        "success rate",
+    ]);
+    let mut lambda_ok = true;
+    let mut revenue_ok = true;
+
+    let hosts: Vec<(String, generators::Topology)> = vec![
+        ("star(8)".into(), generators::star(8)),
+        ("cycle(10)".into(), generators::cycle(10)),
+        (
+            "BA(16,2)".into(),
+            generators::barabasi_albert(16, 2, &mut rng),
+        ),
+    ];
+    for (name, host) in hosts {
+        let n = host.node_bound();
+        let model = TransactionModel::zipf(&host, 1.0, ZipfVariant::Averaged, vec![1.0; n]);
+        let predicted_lambda = model.edge_rates(&host);
+        let predicted_rev = model.revenue_rates(&host, favg);
+
+        // Simulator with effectively unbounded balances and the same
+        // fee/size models the estimator assumes.
+        let mut pcn = Pcn::from_topology(
+            &host,
+            1e9,
+            CostModel::new(1.0, 0.0),
+            FeeFunction::Constant { fee: favg },
+        );
+        let txs = WorkloadBuilder::new(model.to_pair_weights())
+            .sender_rates(model.sender_rates())
+            .sizes(TxSizeDistribution::Constant { size: 1.0 })
+            .generate(TXS, &mut rng);
+        let result = simulate(&mut pcn, &txs, &mut rng);
+
+        // λ comparison on the busier half of edges (quiet edges have too
+        // few samples for a stable relative error).
+        let mut lambdas: Vec<f64> = host
+            .edge_ids()
+            .map(|e| predicted_lambda[e.index()])
+            .collect();
+        lambdas.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let median = lambdas[lambdas.len() / 2];
+        let mut errs = Vec::new();
+        for e in host.edge_ids() {
+            let pred = predicted_lambda[e.index()];
+            if pred < median.max(1e-12) {
+                continue;
+            }
+            let obs = result.edge_rate(e);
+            errs.push(((obs - pred) / pred).abs());
+        }
+        let mean_err = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        lambda_ok &= mean_err < 0.10;
+
+        // Revenue-rate comparison at the best-earning node.
+        let best = host
+            .node_ids()
+            .max_by(|&x, &y| {
+                predicted_rev[x.index()]
+                    .partial_cmp(&predicted_rev[y.index()])
+                    .expect("finite")
+            })
+            .expect("non-empty host");
+        let rev_pred = predicted_rev[best.index()];
+        let rev_obs = result.revenue_rate(best);
+        let rev_err = if rev_pred > 0.0 {
+            ((rev_obs - rev_pred) / rev_pred).abs()
+        } else {
+            0.0
+        };
+        revenue_ok &= rev_err < 0.10;
+
+        summary.push_row([
+            name,
+            host.edge_count().to_string(),
+            fmt_f(mean_err),
+            fmt_f(rev_err),
+            fmt_f(result.success_rate()),
+        ]);
+    }
+    report.add_table(
+        format!("{TXS} simulated transactions per host, Zipf s = 1"),
+        summary,
+    );
+    report.add_verdict(Verdict::new(
+        "Eq. 2: observed edge rates match λ_e within 10% (busy edges)",
+        lambda_ok,
+        "estimator is consistent with its own workload",
+    ));
+    report.add_verdict(Verdict::new(
+        "Eq. 3 (intermediary reading): top earner's revenue rate within 10%",
+        revenue_ok,
+        "E^rev matches simulated fee income",
+    ));
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn experiment_passes() {
+        let report = super::run();
+        assert!(report.all_passed(), "{report}");
+    }
+}

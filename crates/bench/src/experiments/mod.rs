@@ -1,0 +1,40 @@
+//! One module per experiment in DESIGN.md's index (E1–E12).
+//!
+//! Each module exposes `run() -> ExperimentReport`; the binaries in
+//! `src/bin/` are thin wrappers, and `all()` powers the `all_experiments`
+//! binary that regenerates EXPERIMENTS.md's data.
+
+pub mod e01_fig1;
+pub mod e02_fig2;
+pub mod e03_zipf;
+pub mod e04_utility_properties;
+pub mod e05_greedy;
+pub mod e06_exhaustive;
+pub mod e07_continuous;
+pub mod e08_hub_bound;
+pub mod e09_star;
+pub mod e10_path;
+pub mod e11_circle;
+pub mod e12_rates;
+pub mod e13_ablations;
+
+use crate::report::ExperimentReport;
+
+/// Runs every experiment in order.
+pub fn all() -> Vec<ExperimentReport> {
+    vec![
+        e01_fig1::run(),
+        e02_fig2::run(),
+        e03_zipf::run(),
+        e04_utility_properties::run(),
+        e05_greedy::run(),
+        e06_exhaustive::run(),
+        e07_continuous::run(),
+        e08_hub_bound::run(),
+        e09_star::run(),
+        e10_path::run(),
+        e11_circle::run(),
+        e12_rates::run(),
+        e13_ablations::run(),
+    ]
+}

@@ -1,0 +1,237 @@
+//! Experiment reporting: aligned text tables, CSV emission, verdicts.
+//!
+//! The paper contains no measurement tables (its evaluation is analytic);
+//! every experiment here regenerates a *claim* — a figure's worked example
+//! or a theorem's prediction — and renders (a) the measured table and (b) a
+//! pass/fail verdict on the claim's shape. `EXPERIMENTS.md` is assembled
+//! from these reports.
+
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (no quoting — cells are numeric/identifier-like).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// One checked claim.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The claim being reproduced (paper reference included).
+    pub claim: String,
+    /// Whether the measured data matches the claim's shape.
+    pub passed: bool,
+    /// Human-readable evidence.
+    pub details: String,
+}
+
+impl Verdict {
+    /// Creates a verdict.
+    pub fn new(claim: impl Into<String>, passed: bool, details: impl Into<String>) -> Self {
+        Verdict {
+            claim: claim.into(),
+            passed,
+            details: details.into(),
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = if self.passed { "PASS" } else { "FAIL" };
+        write!(f, "[{mark}] {} — {}", self.claim, self.details)
+    }
+}
+
+/// A full experiment report.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Short id, e.g. `"E5"`.
+    pub id: &'static str,
+    /// Paper artifact, e.g. `"Thm 4 / Algorithm 1"`.
+    pub title: &'static str,
+    /// Named tables of measurements.
+    pub tables: Vec<(String, Table)>,
+    /// Shape verdicts.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        ExperimentReport {
+            id,
+            title,
+            tables: Vec::new(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Adds a named table.
+    pub fn add_table(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.push((name.into(), table));
+    }
+
+    /// Adds a verdict.
+    pub fn add_verdict(&mut self, verdict: Verdict) {
+        self.verdicts.push(verdict);
+    }
+
+    /// `true` iff all verdicts passed.
+    pub fn all_passed(&self) -> bool {
+        self.verdicts.iter().all(|v| v.passed)
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} — {} ====", self.id, self.title)?;
+        for (name, table) in &self.tables {
+            writeln!(f, "\n-- {name} --")?;
+            write!(f, "{table}")?;
+        }
+        if !self.verdicts.is_empty() {
+            writeln!(f, "\n-- verdicts --")?;
+            for v in &self.verdicts {
+                writeln!(f, "{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt_f(x: f64) -> String {
+    if x == f64::INFINITY {
+        "inf".into()
+    } else if x == f64::NEG_INFINITY {
+        "-inf".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new(["n", "value"]);
+        t.push_row(["3", "1.5"]);
+        t.push_row(["10", "2.25"]);
+        let s = t.to_string();
+        assert!(s.contains("| n  | value |"));
+        assert_eq!(t.to_csv(), "n,value\n3,1.5\n10,2.25\n");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let mut r = ExperimentReport::new("E0", "smoke");
+        let mut t = Table::new(["x"]);
+        t.push_row(["1"]);
+        r.add_table("data", t);
+        r.add_verdict(Verdict::new("claim", true, "ok"));
+        assert!(r.all_passed());
+        let s = r.to_string();
+        assert!(s.contains("E0"));
+        assert!(s.contains("[PASS]"));
+        r.add_verdict(Verdict::new("claim2", false, "bad"));
+        assert!(!r.all_passed());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(f64::INFINITY), "inf");
+        assert_eq!(fmt_f(f64::NEG_INFINITY), "-inf");
+        assert_eq!(fmt_f(0.5), "0.5000");
+        assert_eq!(fmt_f(1234.56), "1234.6");
+    }
+}

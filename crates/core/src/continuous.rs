@@ -1,0 +1,376 @@
+//! Continuous capital allocation — the 1/5-approximation of §III-D.
+//!
+//! When the lock amounts range over `R+`, the paper switches objectives to
+//! the *benefit function* `U^b_uS = C_u + U_uS` (the value of joining the
+//! PCN relative to staying fully on-chain, `C_u = N_u·C/2`) and sketches an
+//! application of Lee et al. \[29\] — local search for *non-monotone*
+//! submodular maximization — yielding a 1/5-approximation whenever `U^b`
+//! stays non-negative over the considered channels.
+//!
+//! The paper cites \[29\] as a black box; we implement the standard
+//! add/drop/swap local search at its heart, adapted to the channel-creation
+//! setting:
+//!
+//! 1. **Moves.** From the current strategy, try *adding* a channel (any
+//!    candidate target, lock drawn from a geometric grid refined around
+//!    `min_usable_lock`), *dropping* a channel, or *swapping* one channel
+//!    for a candidate — all under the budget `Σ(C + l) ≤ B`.
+//! 2. **Acceptance.** A move is taken only if it improves the benefit by
+//!    at least a `(1 + ε/n²)` factor (the polynomial-time guard of \[29\];
+//!    with `ε = 0` plain hill climbing).
+//! 3. **Continuous refinement.** After convergence, each kept channel's
+//!    lock is optimized over the continuum: under the capacity rule the
+//!    benefit is piecewise constant in the lock with a kink at
+//!    `min_usable_lock`, and strictly decreasing in the lock through the
+//!    opportunity cost, so per-channel optima sit at grid boundaries; we
+//!    scan the candidate boundary set exactly.
+//!
+//! Experiment E7 measures the empirical ratio of this search against the
+//! brute-force optimum of the benefit function (paper guarantee: ≥ 1/5).
+
+use crate::strategy::{Action, Strategy};
+use crate::utility::UtilityOracle;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the continuous local search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContinuousConfig {
+    /// Budget `B_u`.
+    pub budget: f64,
+    /// Improvement factor guard `ε ≥ 0`: a move must improve the benefit
+    /// by a factor `(1 + ε/n²)` (or absolutely by `1e-12` when the current
+    /// value is non-positive).
+    pub epsilon: f64,
+    /// Number of lock levels per candidate in the search grid.
+    pub lock_levels: usize,
+    /// Hard cap on local-search iterations.
+    pub max_iterations: usize,
+}
+
+impl ContinuousConfig {
+    /// A sensible default for a given budget.
+    pub fn with_budget(budget: f64) -> Self {
+        ContinuousConfig {
+            budget,
+            epsilon: 0.0,
+            lock_levels: 6,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// Result of the continuous local search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContinuousResult {
+    /// The locally optimal strategy.
+    pub strategy: Strategy,
+    /// Benefit `U^b` of the strategy.
+    pub benefit: f64,
+    /// Full utility `U` of the strategy.
+    pub utility: f64,
+    /// Local-search iterations performed.
+    pub iterations: usize,
+    /// Oracle evaluations spent.
+    pub evaluations: u64,
+}
+
+/// Lock levels tried for each candidate: a geometric grid over
+/// `(0, budget − C]`, always including `min_usable_lock` (the cheapest
+/// *usable* lock) when it fits.
+fn lock_grid(oracle: &UtilityOracle, config: &ContinuousConfig) -> Vec<f64> {
+    let c = oracle.params().cost.onchain_fee;
+    let max_lock = (config.budget - c).max(0.0);
+    if max_lock <= 0.0 {
+        return Vec::new();
+    }
+    let mut grid = Vec::with_capacity(config.lock_levels + 2);
+    let min_usable = oracle.params().min_usable_lock;
+    if min_usable > 0.0 && min_usable <= max_lock {
+        grid.push(min_usable);
+    }
+    let levels = config.lock_levels.max(1);
+    for i in 0..levels {
+        // Geometric spacing from max_lock/2^(levels-1) up to max_lock.
+        let lock = max_lock / 2f64.powi((levels - 1 - i) as i32);
+        grid.push(lock);
+    }
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite locks"));
+    grid.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    grid
+}
+
+/// Returns `true` if `candidate` is enough of an improvement over
+/// `current` per the `(1 + ε/n²)` rule of \[29\].
+fn improves(current: f64, candidate: f64, epsilon: f64, n: usize) -> bool {
+    if !candidate.is_finite() {
+        return false;
+    }
+    if !current.is_finite() {
+        return candidate.is_finite();
+    }
+    if current <= 0.0 {
+        return candidate > current + 1e-12;
+    }
+    candidate > current * (1.0 + epsilon / (n * n).max(1) as f64) + 1e-12
+}
+
+/// Local-search maximization of the benefit function with continuous lock
+/// refinement (§III-D).
+///
+/// # Examples
+///
+/// ```
+/// use lcg_core::continuous::{continuous_local_search, ContinuousConfig};
+/// use lcg_core::utility::{UtilityOracle, UtilityParams};
+/// use lcg_graph::generators;
+///
+/// let host = generators::star(4);
+/// let n = host.node_bound();
+/// let oracle = UtilityOracle::new(host, vec![1.0; n], UtilityParams::default());
+/// let result = continuous_local_search(&oracle, &ContinuousConfig::with_budget(5.0));
+/// assert!(result.benefit.is_finite());
+/// ```
+pub fn continuous_local_search(
+    oracle: &UtilityOracle,
+    config: &ContinuousConfig,
+) -> ContinuousResult {
+    let start_evals = oracle.evaluation_count();
+    let c = oracle.params().cost.onchain_fee;
+    let candidates = oracle.candidates();
+    let n = candidates.len();
+    let grid = lock_grid(oracle, config);
+
+    let mut current = Strategy::empty();
+    let mut current_value = oracle.benefit(&current); // −∞ when disconnected
+    let mut iterations = 0;
+
+    // Seed: best single channel (the search cannot escape −∞ by swaps).
+    for &target in &candidates {
+        for &lock in &grid {
+            let s = Strategy::from_pairs(&[(target, lock)]);
+            if !s.is_within_budget(c, config.budget) {
+                continue;
+            }
+            let v = oracle.benefit(&s);
+            if improves(current_value, v, 0.0, n) {
+                current = s;
+                current_value = v;
+            }
+        }
+    }
+
+    'outer: while iterations < config.max_iterations {
+        iterations += 1;
+        // Add moves.
+        for &target in &candidates {
+            for &lock in &grid {
+                let s = current.with(Action::new(target, lock));
+                if !s.is_within_budget(c, config.budget) {
+                    continue;
+                }
+                let v = oracle.benefit(&s);
+                if improves(current_value, v, config.epsilon, n) {
+                    current = s;
+                    current_value = v;
+                    continue 'outer;
+                }
+            }
+        }
+        // Drop moves.
+        for i in 0..current.len() {
+            let mut s = current.clone();
+            s.remove(i);
+            let v = oracle.benefit(&s);
+            if improves(current_value, v, config.epsilon, n) {
+                current = s;
+                current_value = v;
+                continue 'outer;
+            }
+        }
+        // Swap moves: replace channel i with a fresh (target, lock).
+        for i in 0..current.len() {
+            for &target in &candidates {
+                for &lock in &grid {
+                    let mut s = current.clone();
+                    s.remove(i);
+                    s.push(Action::new(target, lock));
+                    if !s.is_within_budget(c, config.budget) {
+                        continue;
+                    }
+                    let v = oracle.benefit(&s);
+                    if improves(current_value, v, config.epsilon, n) {
+                        current = s;
+                        current_value = v;
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        break; // local optimum
+    }
+
+    // Continuous refinement of each lock over the boundary candidates.
+    let refined = refine_locks(oracle, &current, config.budget);
+    let refined_value = oracle.benefit(&refined);
+    let (strategy, benefit) = if refined_value >= current_value {
+        (refined, refined_value)
+    } else {
+        (current, current_value)
+    };
+    let utility = oracle.utility(&strategy);
+    ContinuousResult {
+        strategy,
+        benefit,
+        utility,
+        iterations,
+        evaluations: oracle.evaluation_count() - start_evals,
+    }
+}
+
+/// Per-channel continuous lock optimization: under the capacity rule the
+/// benefit is piecewise constant in each lock except for the linear
+/// opportunity-cost term, so each channel's optimum is either
+/// `min_usable_lock` (stay usable, minimal capital) or `0` if the channel
+/// is worth keeping only for its topology (when `min_usable_lock = 0`).
+/// Any budget freed this way is left unlocked.
+pub fn refine_locks(oracle: &UtilityOracle, strategy: &Strategy, budget: f64) -> Strategy {
+    let c = oracle.params().cost.onchain_fee;
+    let min_usable = oracle.params().min_usable_lock;
+    let mut best = strategy.clone();
+    let mut best_value = oracle.benefit(&best);
+    for i in 0..strategy.len() {
+        let mut trial = best.clone();
+        let action = trial.actions()[i];
+        let candidate_lock = min_usable.max(0.0);
+        if (action.lock - candidate_lock).abs() < 1e-12 {
+            continue;
+        }
+        trial.remove(i);
+        trial.push(Action::new(action.target, candidate_lock));
+        if !trial.is_within_budget(c, budget) {
+            continue;
+        }
+        let v = oracle.benefit(&trial);
+        if v > best_value {
+            best = trial;
+            best_value = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::optimal_discrete;
+    use crate::utility::{Objective, UtilityParams};
+    use lcg_graph::generators;
+    use lcg_graph::NodeId;
+
+    fn oracle_for(host: lcg_graph::generators::Topology, min_lock: f64) -> UtilityOracle {
+        let n = host.node_bound();
+        let params = UtilityParams {
+            min_usable_lock: min_lock,
+            ..UtilityParams::default()
+        };
+        UtilityOracle::new(host, vec![1.0; n], params)
+    }
+
+    #[test]
+    fn finds_a_connected_strategy_on_star() {
+        let oracle = oracle_for(generators::star(4), 0.0);
+        let result = continuous_local_search(&oracle, &ContinuousConfig::with_budget(4.0));
+        assert!(!result.strategy.is_empty());
+        assert!(result.benefit.is_finite());
+        assert!(result.strategy.targets().contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn respects_budget() {
+        let oracle = oracle_for(generators::cycle(6), 1.0);
+        let budget = 5.0;
+        let result = continuous_local_search(&oracle, &ContinuousConfig::with_budget(budget));
+        assert!(result
+            .strategy
+            .is_within_budget(oracle.params().cost.onchain_fee, budget));
+    }
+
+    #[test]
+    fn achieves_at_least_one_fifth_of_discrete_optimum() {
+        // Paper guarantee: 1/5 of OPT on the benefit function. The discrete
+        // optimum lower-bounds the continuous one only up to granularity,
+        // but at matching granularity the comparison is conservative.
+        for host in [generators::star(4), generators::path(5)] {
+            let oracle = oracle_for(host, 1.0);
+            let budget = 5.0;
+            let result = continuous_local_search(&oracle, &ContinuousConfig::with_budget(budget));
+            let opt = optimal_discrete(&oracle, budget, 1.0, Objective::Benefit);
+            if opt.value > 0.0 {
+                assert!(
+                    result.benefit >= opt.value / 5.0 - 1e-9,
+                    "ratio violated: local {} vs opt {}",
+                    result.benefit,
+                    opt.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_stays_empty() {
+        let oracle = oracle_for(generators::star(3), 0.0);
+        let result = continuous_local_search(&oracle, &ContinuousConfig::with_budget(0.0));
+        assert!(result.strategy.is_empty());
+        assert_eq!(result.benefit, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn refinement_shrinks_wasteful_locks() {
+        // With opportunity cost and a capacity floor, the refined locks
+        // should sit at min_usable_lock, not above.
+        let host = generators::star(4);
+        let n = host.node_bound();
+        let params = UtilityParams {
+            min_usable_lock: 1.0,
+            cost: lcg_sim::onchain::CostModel::new(1.0, 0.2),
+            ..UtilityParams::default()
+        };
+        let oracle = UtilityOracle::new(host, vec![1.0; n], params);
+        let fat = Strategy::from_pairs(&[(NodeId(0), 3.0)]);
+        let refined = refine_locks(&oracle, &fat, 10.0);
+        assert!((refined.actions()[0].lock - 1.0).abs() < 1e-9);
+        assert!(oracle.benefit(&refined) > oracle.benefit(&fat));
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let oracle = oracle_for(generators::cycle(8), 0.0);
+        let config = ContinuousConfig {
+            max_iterations: 2,
+            ..ContinuousConfig::with_budget(10.0)
+        };
+        let result = continuous_local_search(&oracle, &config);
+        assert!(result.iterations <= 2);
+    }
+
+    #[test]
+    fn improvement_guard_logic() {
+        assert!(improves(f64::NEG_INFINITY, 1.0, 0.1, 5));
+        assert!(improves(-1.0, -0.5, 0.1, 5));
+        assert!(!improves(1.0, 1.0, 0.0, 5));
+        assert!(improves(1.0, 2.0, 0.0, 5));
+        // Multiplicative guard: tiny improvements rejected for ε > 0.
+        assert!(!improves(1.0, 1.0 + 1e-6, 1.0, 2));
+        assert!(!improves(1.0, f64::INFINITY, 0.0, 5) || f64::INFINITY.is_finite());
+    }
+
+    #[test]
+    fn lock_grid_contains_min_usable() {
+        let oracle = oracle_for(generators::star(3), 0.7);
+        let grid = lock_grid(&oracle, &ContinuousConfig::with_budget(5.0));
+        assert!(grid.iter().any(|&l| (l - 0.7).abs() < 1e-12));
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        // All locks affordable.
+        assert!(grid.iter().all(|&l| l <= 4.0 + 1e-12));
+    }
+}

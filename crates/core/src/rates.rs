@@ -1,0 +1,295 @@
+//! Transaction-rate estimation (paper §II-B, Eq. 2).
+//!
+//! Given the pair distribution `p_trans` and per-sender volumes `N_s`, the
+//! mean rate of transactions crossing a directed edge `e` is
+//!
+//! ```text
+//! λ_e = Σ_{s≠r, m(s,r)>0}  m_e(s,r)/m(s,r) · N_s · p_trans(s,r)
+//! ```
+//!
+//! (the paper's `λ_e = N · p_e` with Eq. 2's `p_e`, generalized to
+//! heterogeneous sender volumes — with `N_s = N/n` the two coincide up to
+//! normalization). [`TransactionModel`] bundles the distribution and the
+//! volumes and evaluates edge rates and intermediary-revenue rates via the
+//! weighted Brandes accumulation from `lcg-graph`, i.e. in `O(n(n+m))`
+//! instead of enumerating paths.
+
+use crate::zipf::{pair_probabilities, ZipfVariant};
+use lcg_graph::betweenness::{weighted_edge_betweenness, weighted_node_betweenness};
+use lcg_graph::{DiGraph, NodeId};
+use lcg_sim::workload::PairWeights;
+use serde::{Deserialize, Serialize};
+
+/// A fixed transaction model: who transacts with whom, how often.
+///
+/// The matrix is computed once on a *host* network and then treated as
+/// fixed, exactly as the paper's proofs do ("we assume that `p_trans` is a
+/// fixed value", Thm 1). Graphs evaluated against the model may contain
+/// additional nodes (e.g. the joining user); pairs not covered by the
+/// matrix get weight zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransactionModel {
+    pair_prob: Vec<Vec<f64>>,
+    sender_rates: Vec<f64>,
+}
+
+impl TransactionModel {
+    /// Builds the model from an explicit pair-probability matrix (rows are
+    /// senders and should sum to 1) and per-sender volumes `N_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions disagree or any rate is negative/NaN.
+    pub fn new(pair_prob: Vec<Vec<f64>>, sender_rates: Vec<f64>) -> Self {
+        assert_eq!(
+            pair_prob.len(),
+            sender_rates.len(),
+            "one rate per sender required"
+        );
+        for (i, &r) in sender_rates.iter().enumerate() {
+            assert!(r >= 0.0 && !r.is_nan(), "rate[{i}] must be >= 0, got {r}");
+        }
+        TransactionModel {
+            pair_prob,
+            sender_rates,
+        }
+    }
+
+    /// The paper's model: modified Zipf pair probabilities over `host`
+    /// degree ranks with parameter `s`, and the given sender volumes.
+    pub fn zipf<N: Clone, E: Clone>(
+        host: &DiGraph<N, E>,
+        s: f64,
+        variant: ZipfVariant,
+        sender_rates: Vec<f64>,
+    ) -> Self {
+        let pair_prob = pair_probabilities(host, s, variant);
+        assert_eq!(
+            pair_prob.len(),
+            sender_rates.len(),
+            "sender_rates must cover node_bound() = {}",
+            pair_prob.len()
+        );
+        TransactionModel::new(pair_prob, sender_rates)
+    }
+
+    /// The uniform model of the prior work \[19\]: every other live node is
+    /// an equally likely receiver. Kept as an ablation baseline.
+    pub fn uniform<N: Clone, E: Clone>(host: &DiGraph<N, E>, sender_rates: Vec<f64>) -> Self {
+        TransactionModel::zipf(host, 0.0, ZipfVariant::Averaged, sender_rates)
+    }
+
+    /// Number of senders covered (the host's `node_bound()`).
+    pub fn len(&self) -> usize {
+        self.sender_rates.len()
+    }
+
+    /// Returns `true` if the model covers no senders.
+    pub fn is_empty(&self) -> bool {
+        self.sender_rates.is_empty()
+    }
+
+    /// Probability that `s` transacts with `r` (0 outside the matrix).
+    pub fn probability(&self, s: NodeId, r: NodeId) -> f64 {
+        self.pair_prob
+            .get(s.index())
+            .and_then(|row| row.get(r.index()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Volume `N_s` of sender `s` (0 outside the matrix).
+    pub fn sender_rate(&self, s: NodeId) -> f64 {
+        self.sender_rates.get(s.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Total volume `N = Σ_s N_s`.
+    pub fn total_rate(&self) -> f64 {
+        self.sender_rates.iter().sum()
+    }
+
+    /// Rate weight of the ordered pair: `N_s · p_trans(s, r)`.
+    pub fn pair_rate(&self, s: NodeId, r: NodeId) -> f64 {
+        self.sender_rate(s) * self.probability(s, r)
+    }
+
+    /// Edge transaction rates `λ_e` on `g` (Eq. 2 scaled by volumes),
+    /// indexed by `EdgeId::index()`.
+    ///
+    /// `g` may extend the host with extra nodes; their pairs weigh zero.
+    pub fn edge_rates<N, E>(&self, g: &DiGraph<N, E>) -> Vec<f64> {
+        weighted_edge_betweenness(g, |s, r| self.pair_rate(s, r))
+    }
+
+    /// Expected intermediary-revenue rate per node: for each `u`,
+    /// `Σ_{v1≠u≠v2} m_u(v1,v2)/m(v1,v2) · N_{v1} · p_trans(v1,v2) · f_avg`
+    /// — the Section IV restatement of Eq. 3, with `u` strictly interior.
+    pub fn revenue_rates<N, E>(&self, g: &DiGraph<N, E>, favg: f64) -> Vec<f64> {
+        weighted_node_betweenness(g, |s, r| self.pair_rate(s, r) * favg)
+    }
+
+    /// Eq. 3 taken literally: `Σ_{v ∈ Ne(u)} λ_{u,v} · f_avg`, summing the
+    /// rates of `u`'s *incident* edges (which include transactions sent or
+    /// received by `u` itself). Exposed for the ablation comparing the two
+    /// readings; the utility oracle uses [`TransactionModel::revenue_rates`].
+    pub fn incident_rate_revenue<N, E>(&self, g: &DiGraph<N, E>, favg: f64) -> Vec<f64> {
+        let lambda = self.edge_rates(g);
+        let mut out = vec![0.0; g.node_bound()];
+        for (e, s, d, _) in g.edges() {
+            // Each incident edge contributes to both endpoints' Ne(u) sums.
+            out[s.index()] += lambda[e.index()] * favg;
+            out[d.index()] += lambda[e.index()] * favg;
+        }
+        out
+    }
+
+    /// Converts to the simulator's [`PairWeights`] (weights
+    /// `N_s · p_trans(s,r)`), so the discrete-event engine replays exactly
+    /// this model — the bridge used by experiment E12.
+    pub fn to_pair_weights(&self) -> PairWeights {
+        let n = self.len();
+        let m = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| self.pair_rate(NodeId(i), NodeId(j)))
+                    .collect()
+            })
+            .collect();
+        PairWeights::new(m)
+    }
+
+    /// Per-sender volumes as a vector (cloned), for the workload builder.
+    pub fn sender_rates(&self) -> Vec<f64> {
+        self.sender_rates.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcg_graph::generators;
+
+    const EPS: f64 = 1e-9;
+
+    fn uniform_star(leaves: usize) -> (lcg_graph::generators::Topology, TransactionModel) {
+        let g = generators::star(leaves);
+        let model = TransactionModel::uniform(&g, vec![1.0; g.node_bound()]);
+        (g, model)
+    }
+
+    #[test]
+    fn star_hub_revenue_matches_hand_count() {
+        // Uniform model, unit volumes: hub intermediates all ordered leaf
+        // pairs, each with probability 1/(n-1) of being the tx receiver.
+        let leaves = 4;
+        let (g, model) = uniform_star(leaves);
+        let rev = model.revenue_rates(&g, 1.0);
+        // Each leaf sends rate 1, a fraction (leaves-1)/leaves of which
+        // target other leaves and pass the hub.
+        let expect = leaves as f64 * (leaves - 1) as f64 / leaves as f64;
+        assert!((rev[0] - expect).abs() < EPS, "{} vs {expect}", rev[0]);
+        for i in 1..=leaves {
+            assert!(rev[i].abs() < EPS, "leaves earn nothing");
+        }
+    }
+
+    #[test]
+    fn edge_rates_sum_to_expected_path_length_rate() {
+        // Σ_e λ_e = Σ_{s,r} N_s p(s,r) d(s,r): each tx of hop-length d
+        // crosses d edges.
+        let (g, model) = uniform_star(5);
+        let lambda = model.edge_rates(&g);
+        let total: f64 = lambda.iter().sum();
+        let mut expect = 0.0;
+        for s in g.node_ids() {
+            let t = lcg_graph::bfs::bfs(&g, s);
+            for r in g.node_ids() {
+                if s != r {
+                    expect += model.pair_rate(s, r) * t.distance(r).unwrap() as f64;
+                }
+            }
+        }
+        assert!((total - expect).abs() < EPS);
+    }
+
+    #[test]
+    fn incident_revenue_exceeds_intermediary_revenue() {
+        // Eq. 3 literal counts u's own transactions too, so it dominates.
+        let (g, model) = uniform_star(4);
+        let incident = model.incident_rate_revenue(&g, 1.0);
+        let interior = model.revenue_rates(&g, 1.0);
+        for v in g.node_ids() {
+            assert!(
+                incident[v.index()] >= interior[v.index()] - EPS,
+                "incident reading must dominate at {v}"
+            );
+        }
+        // For leaves the difference is exactly their own send+receive rate.
+        assert!(incident[1] > 0.0 && interior[1].abs() < EPS);
+    }
+
+    #[test]
+    fn zipf_model_biases_toward_hub() {
+        let g = generators::star(5);
+        let model = TransactionModel::zipf(&g, 2.0, ZipfVariant::Averaged, vec![1.0; 6]);
+        // From a leaf, the hub is by far the likeliest counterparty.
+        assert!(model.probability(NodeId(1), NodeId(0)) > 0.5);
+        assert!(
+            model.probability(NodeId(1), NodeId(0)) > 4.0 * model.probability(NodeId(1), NodeId(2))
+        );
+    }
+
+    #[test]
+    fn pairs_outside_matrix_weigh_zero() {
+        let (g, model) = uniform_star(3);
+        let mut extended = g.clone();
+        let u = extended.add_node(());
+        extended.add_undirected(NodeId(0), u, ());
+        assert_eq!(model.probability(u, NodeId(0)), 0.0);
+        assert_eq!(model.pair_rate(NodeId(0), u), 0.0);
+        // Rates on the extended graph still computable; the new edges carry
+        // no host-pair flow in a star (no shortcut created).
+        let lambda = model.edge_rates(&extended);
+        let new_edge = extended.find_edge(u, NodeId(0)).unwrap();
+        assert!(lambda[new_edge.index()].abs() < EPS);
+    }
+
+    #[test]
+    fn heterogeneous_sender_rates_scale_linearly() {
+        let g = generators::path(4);
+        let base = TransactionModel::uniform(&g, vec![1.0; 4]);
+        let scaled = TransactionModel::uniform(&g, vec![3.0; 4]);
+        let l1 = base.edge_rates(&g);
+        let l3 = scaled.edge_rates(&g);
+        for e in g.edge_ids() {
+            assert!((l3[e.index()] - 3.0 * l1[e.index()]).abs() < EPS);
+        }
+        assert!((scaled.total_rate() - 12.0).abs() < EPS);
+    }
+
+    #[test]
+    fn to_pair_weights_preserves_probabilities() {
+        let g = generators::star(4);
+        let model = TransactionModel::zipf(&g, 1.0, ZipfVariant::Averaged, vec![2.0; 5]);
+        let pw = model.to_pair_weights();
+        for s in g.node_ids() {
+            for r in g.node_ids() {
+                if s == r {
+                    continue;
+                }
+                let expect = model.probability(s, r);
+                let got = pw.probability(s, r);
+                assert!(
+                    (expect - got).abs() < EPS,
+                    "({s},{r}): {expect} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one rate per sender")]
+    fn dimension_mismatch_panics() {
+        TransactionModel::new(vec![vec![0.0; 2]; 2], vec![1.0]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Strategies of a joining user (paper §II-C).
+//!
+//! The action set is `Ω = {(v_i, l_i)}`: connect to node `v_i` locking
+//! `l_i > 0` coins in the new channel. A *strategy* `S ⊆ Ω` is the set of
+//! channels the user opens; the budget constraint requires
+//! `Σ_{(v,l)∈S} [C + l] ≤ B_u`, where `C` is the on-chain fee paid per
+//! channel. `Ω` may contain several entries with the same endpoint but
+//! different locked amounts (parallel channels are allowed).
+
+use lcg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One element of the action set `Ω`: open a channel to `target` with
+/// `lock` coins committed by the joining user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    /// Host node to connect to.
+    pub target: NodeId,
+    /// Capital the joining user locks into the channel (`l_i`).
+    pub lock: f64,
+}
+
+impl Action {
+    /// Creates an action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is negative or NaN (the paper requires `l_i > 0`;
+    /// zero is tolerated so optimizers can represent "channel with no
+    /// spendable capital" during search).
+    pub fn new(target: NodeId, lock: f64) -> Self {
+        assert!(
+            lock >= 0.0 && !lock.is_nan(),
+            "locked amount must be non-negative, got {lock}"
+        );
+        Action { target, lock }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} ← {})", self.target, self.lock)
+    }
+}
+
+/// A strategy `S ⊆ Ω`: the multiset of channels the joining user opens.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Strategy {
+    actions: Vec<Action>,
+}
+
+impl Strategy {
+    /// The empty strategy (stay disconnected; utility `−∞`).
+    pub fn empty() -> Self {
+        Strategy::default()
+    }
+
+    /// Builds a strategy from actions.
+    pub fn new(actions: Vec<Action>) -> Self {
+        Strategy { actions }
+    }
+
+    /// Convenience: one channel per `(target, lock)` pair.
+    pub fn from_pairs(pairs: &[(NodeId, f64)]) -> Self {
+        Strategy {
+            actions: pairs.iter().map(|&(t, l)| Action::new(t, l)).collect(),
+        }
+    }
+
+    /// The actions composing the strategy.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Number of channels opened.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` if no channels are opened.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Adds a channel.
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    /// Removes and returns the channel at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove(&mut self, index: usize) -> Action {
+        self.actions.remove(index)
+    }
+
+    /// Returns a copy with `action` appended (functional style for search).
+    pub fn with(&self, action: Action) -> Strategy {
+        let mut s = self.clone();
+        s.push(action);
+        s
+    }
+
+    /// Total capital locked across channels (`Σ l_i`).
+    pub fn total_locked(&self) -> f64 {
+        self.actions.iter().map(|a| a.lock).sum()
+    }
+
+    /// On-chain budget required: `Σ (C + l_i)` — the paper's budget
+    /// constraint left-hand side.
+    pub fn budget_required(&self, onchain_fee: f64) -> f64 {
+        self.actions
+            .iter()
+            .map(|a| onchain_fee + a.lock)
+            .sum()
+    }
+
+    /// Whether the strategy respects budget `B_u` given per-channel
+    /// on-chain fee `C` (with a small epsilon for float dust).
+    pub fn is_within_budget(&self, onchain_fee: f64, budget: f64) -> bool {
+        self.budget_required(onchain_fee) <= budget + 1e-9
+    }
+
+    /// Distinct targets, sorted (parallel channels collapse).
+    pub fn targets(&self) -> Vec<NodeId> {
+        let mut ts: Vec<NodeId> = self.actions.iter().map(|a| a.target).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// Iterates over the actions.
+    pub fn iter(&self) -> impl Iterator<Item = &Action> {
+        self.actions.iter()
+    }
+}
+
+impl FromIterator<Action> for Strategy {
+    fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> Self {
+        Strategy {
+            actions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Action> for Strategy {
+    fn extend<I: IntoIterator<Item = Action>>(&mut self, iter: I) {
+        self.actions.extend(iter);
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_accounting() {
+        let s = Strategy::from_pairs(&[(NodeId(1), 5.0), (NodeId(2), 3.0)]);
+        assert_eq!(s.len(), 2);
+        assert!((s.total_locked() - 8.0).abs() < 1e-12);
+        assert!((s.budget_required(1.0) - 10.0).abs() < 1e-12);
+        assert!(s.is_within_budget(1.0, 10.0));
+        assert!(!s.is_within_budget(1.0, 9.5));
+    }
+
+    #[test]
+    fn empty_strategy_costs_nothing() {
+        let s = Strategy::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.budget_required(2.0), 0.0);
+        assert!(s.is_within_budget(2.0, 0.0));
+    }
+
+    #[test]
+    fn with_is_functional_push() {
+        let s = Strategy::empty();
+        let s2 = s.with(Action::new(NodeId(3), 1.0));
+        assert!(s.is_empty());
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s2.actions()[0].target, NodeId(3));
+    }
+
+    #[test]
+    fn targets_dedup_parallel_channels() {
+        let s = Strategy::from_pairs(&[(NodeId(2), 1.0), (NodeId(1), 2.0), (NodeId(2), 3.0)]);
+        assert_eq!(s.targets(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn remove_returns_action() {
+        let mut s = Strategy::from_pairs(&[(NodeId(1), 1.0), (NodeId(2), 2.0)]);
+        let a = s.remove(0);
+        assert_eq!(a.target, NodeId(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lock_panics() {
+        Action::new(NodeId(0), -1.0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: Strategy = (1..=3).map(|i| Action::new(NodeId(i), i as f64)).collect();
+        s.extend([Action::new(NodeId(9), 0.5)]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.to_string(), "{(n1 ← 1), (n2 ← 2), (n3 ← 3), (n9 ← 0.5)}");
+    }
+}

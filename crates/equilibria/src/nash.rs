@@ -1,0 +1,275 @@
+//! Computational Nash-equilibrium verification by deviation enumeration.
+//!
+//! The paper analyses star, path and circle topologies by hand-enumerating
+//! the deviations of a single node (Thm 8's six strategies, Thm 10's
+//! endpoint rewiring, Thm 11's opposite chord). This module mechanizes the
+//! check: for each player it enumerates *every* combination of
+//! removing owned channels and adding channels to non-neighbors and tests
+//! whether any strictly improves the player's utility. Exponential in the
+//! degree and anti-degree — exactly what the paper's NP-hardness citation
+//! (Thm 2 of \[19\]) predicts — so intended for the small `n` of §IV.
+
+use crate::game::Game;
+use lcg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A profitable unilateral deviation found by the checker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deviation {
+    /// The deviating player.
+    pub player: NodeId,
+    /// Owned channels the player closes.
+    pub remove: Vec<NodeId>,
+    /// New channels the player creates.
+    pub add: Vec<NodeId>,
+    /// Utility before the deviation.
+    pub utility_before: f64,
+    /// Utility after the deviation.
+    pub utility_after: f64,
+}
+
+impl Deviation {
+    /// Strict improvement margin.
+    pub fn gain(&self) -> f64 {
+        self.utility_after - self.utility_before
+    }
+}
+
+/// Outcome of a full equilibrium check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NashReport {
+    /// `true` iff no player has a strictly profitable deviation.
+    pub is_equilibrium: bool,
+    /// The most profitable deviation per player that has one.
+    pub deviations: Vec<Deviation>,
+    /// Deviations evaluated in total.
+    pub explored: u64,
+}
+
+/// Tolerance below which a utility change does not count as profitable
+/// (guards floating-point noise in the harmonic sums).
+pub const GAIN_EPSILON: f64 = 1e-9;
+
+fn subsets<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
+    let n = items.len();
+    assert!(n < 64, "subset enumeration bounded to 63 items");
+    (0u64..(1 << n))
+        .map(|mask| {
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| items[i])
+                .collect()
+        })
+        .collect()
+}
+
+/// Finds the best unilateral deviation of `player`, if any strictly
+/// profitable one exists.
+///
+/// Enumerates every subset of owned channels to remove × every subset of
+/// addable targets (non-neighbors, and removed neighbors may be re-added
+/// with fresh ownership is equivalent to not removing, so they are
+/// excluded). Runs `2^(owned) · 2^(candidates)` utility evaluations.
+pub fn best_deviation(game: &Game, player: NodeId, explored: &mut u64) -> Option<Deviation> {
+    let before = game.utility(player);
+    let owned = game.owned_channels(player);
+    let neighbors = game.graph().neighbors(player);
+    let addable: Vec<NodeId> = game
+        .graph()
+        .node_ids()
+        .filter(|&v| v != player && !neighbors.contains(&v))
+        .collect();
+
+    let mut best: Option<Deviation> = None;
+    for remove in subsets(&owned) {
+        for add in subsets(&addable) {
+            if remove.is_empty() && add.is_empty() {
+                continue;
+            }
+            *explored += 1;
+            let deviated = game.deviate(player, &remove, &add);
+            let after = deviated.utility(player);
+            let improves = if before == f64::NEG_INFINITY {
+                after > f64::NEG_INFINITY
+            } else {
+                after > before + GAIN_EPSILON
+            };
+            if improves
+                && best
+                    .as_ref()
+                    .is_none_or(|b| after > b.utility_after + GAIN_EPSILON)
+            {
+                best = Some(Deviation {
+                    player,
+                    remove: remove.clone(),
+                    add: add.clone(),
+                    utility_before: before,
+                    utility_after: after,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Checks whether the current game state is a (pure) Nash equilibrium.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_equilibria::game::{Game, GameParams};
+/// use lcg_equilibria::nash::check_equilibrium;
+///
+/// // A very biased Zipf (s large) with moderate link costs: the star is
+/// // stable (Thm 7).
+/// let params = GameParams { zipf_s: 12.0, a: 0.1, b: 0.1, link_cost: 1.0,
+///                           ..GameParams::default() };
+/// let report = check_equilibrium(&Game::star(5, params));
+/// assert!(report.is_equilibrium);
+/// ```
+pub fn check_equilibrium(game: &Game) -> NashReport {
+    let mut deviations = Vec::new();
+    let mut explored = 0;
+    for player in game.graph().node_ids() {
+        if let Some(dev) = best_deviation(game, player, &mut explored) {
+            deviations.push(dev);
+        }
+    }
+    NashReport {
+        is_equilibrium: deviations.is_empty(),
+        deviations,
+        explored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::GameParams;
+
+    #[test]
+    fn star_with_extreme_zipf_is_stable() {
+        // Thm 7: s with 1/2^s ≈ 0 and ≥ 4 leaves ⇒ star is a NE.
+        let params = GameParams {
+            zipf_s: 14.0,
+            a: 0.2,
+            b: 0.2,
+            link_cost: 1.0,
+            ..GameParams::default()
+        };
+        let report = check_equilibrium(&Game::star(5, params));
+        assert!(
+            report.is_equilibrium,
+            "deviations found: {:?}",
+            report.deviations
+        );
+    }
+
+    #[test]
+    fn path_is_never_an_equilibrium() {
+        // Thm 10: for any s ≥ 0 the endpoint prefers rewiring inward.
+        for s in [0.0, 1.0, 2.0] {
+            let params = GameParams {
+                zipf_s: s,
+                ..GameParams::default()
+            };
+            let report = check_equilibrium(&Game::path(5, params));
+            assert!(
+                !report.is_equilibrium,
+                "path unexpectedly stable at s = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_endpoint_has_profitable_rewiring() {
+        let params = GameParams::default();
+        let game = Game::path(5, params);
+        let mut explored = 0;
+        let dev = best_deviation(&game, NodeId(0), &mut explored).expect("endpoint must deviate");
+        assert!(dev.gain() > 0.0);
+        assert!(explored > 0);
+    }
+
+    #[test]
+    fn large_circle_is_unstable() {
+        // Thm 11: beyond some n₀ a chord deviation pays off. With cheap
+        // links the threshold is small.
+        let params = GameParams {
+            link_cost: 0.01,
+            a: 1.0,
+            b: 1.0,
+            zipf_s: 0.5,
+            ..GameParams::default()
+        };
+        let report = check_equilibrium(&Game::circle(9, params));
+        assert!(!report.is_equilibrium, "9-circle should admit a chord");
+    }
+
+    #[test]
+    fn small_circle_is_stable_in_the_intermediate_cost_band() {
+        // The circle is stable only for intermediate link costs: cheap
+        // enough that nobody drops their ring edge (staying connected the
+        // long way round and saving l), expensive enough that no chord
+        // pays. (l = 50 at a = b = 0.1 is *unstable*: dropping the owned
+        // edge saves 50 at a tiny fee increase.)
+        let params = GameParams {
+            link_cost: 0.6,
+            a: 1.0,
+            b: 1.0,
+            zipf_s: 1.0,
+            ..GameParams::default()
+        };
+        let report = check_equilibrium(&Game::circle(4, params));
+        assert!(
+            report.is_equilibrium,
+            "deviations: {:?}",
+            report.deviations
+        );
+    }
+
+    #[test]
+    fn circle_with_exorbitant_links_collapses_by_edge_dropping() {
+        let params = GameParams {
+            link_cost: 50.0,
+            a: 0.1,
+            b: 0.1,
+            zipf_s: 1.0,
+            ..GameParams::default()
+        };
+        let report = check_equilibrium(&Game::circle(4, params));
+        assert!(!report.is_equilibrium);
+        // The profitable move is dropping the owned edge, not adding one.
+        assert!(report
+            .deviations
+            .iter()
+            .all(|d| d.add.is_empty() && !d.remove.is_empty()));
+    }
+
+    #[test]
+    fn disconnected_player_always_deviates() {
+        let mut game = Game::new(3, GameParams::default());
+        game.add_channel(NodeId(0), NodeId(1));
+        let report = check_equilibrium(&game);
+        assert!(!report.is_equilibrium);
+        // Node 2 must connect somewhere (−∞ → finite).
+        assert!(report.deviations.iter().any(|d| d.player == NodeId(2)));
+    }
+
+    #[test]
+    fn deviation_gain_is_positive_by_construction() {
+        let game = Game::path(4, GameParams::default());
+        let report = check_equilibrium(&game);
+        for dev in &report.deviations {
+            assert!(dev.gain() > 0.0 || dev.utility_before == f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn subsets_enumerate_power_set() {
+        let s = subsets(&[1, 2, 3]);
+        assert_eq!(s.len(), 8);
+        assert!(s.contains(&vec![]));
+        assert!(s.contains(&vec![1, 2, 3]));
+    }
+}

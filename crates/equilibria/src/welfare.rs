@@ -1,0 +1,141 @@
+//! Social welfare and price-of-anarchy accounting (extension).
+//!
+//! The network-creation literature the paper builds on (\[38\], \[43\])
+//! evaluates equilibria by the *price of anarchy*: the ratio between the
+//! best achievable social welfare and the welfare of the worst stable
+//! network. The paper stops at per-topology stability; this module adds
+//! the welfare lens so experiments can rank the stable topologies the
+//! game admits.
+//!
+//! Welfare here is utilitarian: `W(G) = Σ_v u_v(G)` with the Section IV
+//! utility. Note that link costs enter once per channel (each channel has
+//! exactly one owner) and routing fees are pure transfers *between*
+//! players only when both ends are players — under the paper's model the
+//! fee `b`-revenue and `a`-costs use independent weights, so welfare is
+//! not automatically conserved; the comparison is still meaningful
+//! because all topologies are scored by the same rule.
+
+use crate::game::{Game, GameParams};
+use serde::{Deserialize, Serialize};
+
+/// Welfare summary of one game state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WelfareReport {
+    /// Sum of player utilities (`−∞` if anyone is disconnected).
+    pub total: f64,
+    /// Minimum individual utility.
+    pub min_utility: f64,
+    /// Maximum individual utility.
+    pub max_utility: f64,
+    /// Total link costs sunk (`l · #channels`).
+    pub total_link_cost: f64,
+}
+
+/// Computes utilitarian welfare for the current state.
+pub fn social_welfare(game: &Game) -> WelfareReport {
+    let utilities = game.utilities();
+    let live: Vec<f64> = game
+        .graph()
+        .node_ids()
+        .map(|v| utilities[v.index()])
+        .collect();
+    let total = live.iter().sum();
+    let min_utility = live.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_utility = live.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let total_link_cost = game.params().link_cost * (game.graph().edge_count() / 2) as f64;
+    WelfareReport {
+        total,
+        min_utility,
+        max_utility,
+        total_link_cost,
+    }
+}
+
+/// Welfare of the three §IV topologies at the same size and parameters,
+/// as `(star, path, circle)`.
+///
+/// `n` is the *player count* (the star gets `n − 1` leaves).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn simple_topology_welfare(n: usize, params: GameParams) -> (f64, f64, f64) {
+    assert!(n >= 3, "need at least 3 players");
+    let star = social_welfare(&Game::star(n - 1, params)).total;
+    let path = social_welfare(&Game::path(n, params)).total;
+    let circle = social_welfare(&Game::circle(n, params)).total;
+    (star, path, circle)
+}
+
+/// Empirical price-of-anarchy proxy over a set of candidate stable
+/// states: `best_welfare / worst_stable_welfare` (both as supplied by the
+/// caller; returns `None` when the worst stable welfare is not strictly
+/// positive, where the ratio loses meaning).
+pub fn price_of_anarchy(best_welfare: f64, worst_stable_welfare: f64) -> Option<f64> {
+    (worst_stable_welfare > 0.0).then(|| best_welfare / worst_stable_welfare)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::GameParams;
+
+    #[test]
+    fn star_welfare_components_add_up() {
+        let params = GameParams {
+            a: 0.3,
+            b: 0.3,
+            link_cost: 0.5,
+            zipf_s: 2.0,
+            ..GameParams::default()
+        };
+        let game = Game::star(4, params);
+        let w = social_welfare(&game);
+        assert!(w.total.is_finite());
+        assert_eq!(w.total_link_cost, 0.5 * 4.0);
+        assert!(w.max_utility >= w.min_utility);
+        // Hub earns, leaves pay: spread must be positive.
+        assert!(w.max_utility > 0.0);
+        assert!(w.min_utility < 0.0);
+    }
+
+    #[test]
+    fn disconnected_state_has_negative_infinite_welfare() {
+        let game = Game::new(3, GameParams::default());
+        let w = social_welfare(&game);
+        assert_eq!(w.total, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn star_beats_path_under_biased_traffic() {
+        // With degree-biased traffic (large s) the star concentrates
+        // traffic one hop from everyone: fewer fee hops than the path.
+        let params = GameParams {
+            a: 1.0,
+            b: 1.0,
+            link_cost: 0.2,
+            zipf_s: 3.0,
+            ..GameParams::default()
+        };
+        let (star, path, _circle) = simple_topology_welfare(6, params);
+        assert!(
+            star > path,
+            "star welfare {star} should beat path {path}"
+        );
+    }
+
+    #[test]
+    fn circle_spends_more_on_links_than_path() {
+        let params = GameParams::default();
+        let path = social_welfare(&Game::path(5, params));
+        let circle = social_welfare(&Game::circle(5, params));
+        assert!(circle.total_link_cost > path.total_link_cost);
+    }
+
+    #[test]
+    fn poa_guards_nonpositive_denominator() {
+        assert_eq!(price_of_anarchy(10.0, 0.0), None);
+        assert_eq!(price_of_anarchy(10.0, -1.0), None);
+        assert_eq!(price_of_anarchy(10.0, 5.0), Some(2.0));
+    }
+}

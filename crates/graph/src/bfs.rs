@@ -1,0 +1,307 @@
+//! Unweighted shortest-path primitives (BFS).
+//!
+//! The paper measures distances `d(u, v)` in hops (§II-C: expected fees grow
+//! with the shortest-path length), so BFS is the workhorse metric. This
+//! module provides single-source distances with shortest-path counting (the
+//! `σ` values needed for `m(s,r)` and `m_e(s,r)` in Eq. 2), all-pairs
+//! distance matrices, connectivity checks, and the diameter used by Thm 6.
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+use std::collections::VecDeque;
+
+/// Result of a single-source BFS: hop distances, shortest-path counts and
+/// the shortest-path predecessor DAG.
+///
+/// Indexed by `NodeId::index()`; entries for unreachable or removed nodes
+/// hold `dist == None`, `sigma == 0`.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Source node of the traversal.
+    pub source: NodeId,
+    /// `dist[v]` = hop distance from source to `v`, `None` if unreachable.
+    pub dist: Vec<Option<u32>>,
+    /// `sigma[v]` = number of distinct shortest source→v paths (`m(s, v)` in
+    /// the paper's notation). Counted as `f64` because path counts grow
+    /// exponentially with graph size.
+    pub sigma: Vec<f64>,
+    /// For each node, the list of edges that lie on some shortest path and
+    /// terminate at it (shortest-path predecessors).
+    pub pred_edges: Vec<Vec<EdgeId>>,
+    /// Nodes in non-decreasing order of distance (BFS finish order); used by
+    /// Brandes' dependency accumulation, which walks this in reverse.
+    pub order: Vec<NodeId>,
+}
+
+impl BfsTree {
+    /// Hop distance to `v`, `None` if unreachable.
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        self.dist.get(v.index()).copied().flatten()
+    }
+
+    /// Number of shortest paths from the source to `v` (`m(s, v)`).
+    pub fn path_count(&self, v: NodeId) -> f64 {
+        self.sigma.get(v.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Returns `true` if `v` is reachable from the source.
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.distance(v).is_some()
+    }
+}
+
+/// Runs BFS from `source`, counting shortest paths.
+///
+/// Runs in `O(n + m)`. Parallel edges each contribute separately to `sigma`
+/// (two parallel channels give two distinct paths), matching the multigraph
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_graph::{generators, bfs};
+///
+/// let g = generators::cycle(6);
+/// let t = bfs::bfs(&g, lcg_graph::NodeId(0));
+/// assert_eq!(t.distance(lcg_graph::NodeId(3)), Some(3));
+/// assert_eq!(t.path_count(lcg_graph::NodeId(3)), 2.0); // both ways round
+/// ```
+pub fn bfs<N, E>(g: &DiGraph<N, E>, source: NodeId) -> BfsTree {
+    let n = g.node_bound();
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut sigma = vec![0.0; n];
+    let mut pred_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+    let mut order = Vec::with_capacity(g.node_count());
+    let mut queue = VecDeque::new();
+
+    if !g.contains_node(source) {
+        return BfsTree {
+            source,
+            dist,
+            sigma,
+            pred_edges,
+            order,
+        };
+    }
+
+    dist[source.index()] = Some(0);
+    sigma[source.index()] = 1.0;
+    queue.push_back(source);
+
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let du = dist[u.index()].expect("queued node has distance");
+        for e in g.out_edges(u) {
+            let (_, v) = g.edge_endpoints(e).expect("live out-edge");
+            match dist[v.index()] {
+                None => {
+                    dist[v.index()] = Some(du + 1);
+                    sigma[v.index()] = sigma[u.index()];
+                    pred_edges[v.index()].push(e);
+                    queue.push_back(v);
+                }
+                Some(dv) if dv == du + 1 => {
+                    sigma[v.index()] += sigma[u.index()];
+                    pred_edges[v.index()].push(e);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    BfsTree {
+        source,
+        dist,
+        sigma,
+        pred_edges,
+        order,
+    }
+}
+
+/// All-pairs hop distances: `matrix[s][t]` for all live node pairs.
+///
+/// Runs one BFS per live node, `O(n(n + m))` total. Rows and columns for
+/// removed nodes are present but hold `None`.
+pub fn all_pairs_distances<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<Option<u32>>> {
+    let n = g.node_bound();
+    let mut matrix = vec![vec![None; n]; n];
+    for s in g.node_ids() {
+        matrix[s.index()] = bfs(g, s).dist;
+    }
+    matrix
+}
+
+/// Returns `true` if every live node can reach every other live node
+/// (strong connectivity under the directed model; for channel graphs built
+/// with `add_undirected` this coincides with plain connectivity).
+pub fn is_connected<N, E>(g: &DiGraph<N, E>) -> bool {
+    let mut ids = g.node_ids();
+    let Some(start) = ids.next() else {
+        return true; // vacuously connected
+    };
+    let t = bfs(g, start);
+    if g.node_ids().any(|v| !t.is_reachable(v)) {
+        return false;
+    }
+    // For directed graphs also check the reverse direction by scanning each
+    // node once: every node must reach `start`.
+    g.node_ids().all(|v| bfs(g, v).is_reachable(start))
+}
+
+/// Eccentricity of `v`: max hop distance to any reachable node; `None` if
+/// some live node is unreachable from `v`.
+pub fn eccentricity<N, E>(g: &DiGraph<N, E>, v: NodeId) -> Option<u32> {
+    let t = bfs(g, v);
+    let mut ecc = 0;
+    for u in g.node_ids() {
+        ecc = ecc.max(t.distance(u)?);
+    }
+    Some(ecc)
+}
+
+/// Diameter: the longest shortest path between any live pair, `None` if the
+/// graph is disconnected. Thm 6 bounds this quantity for stable networks
+/// containing a hub.
+pub fn diameter<N, E>(g: &DiGraph<N, E>) -> Option<u32> {
+    let mut d = 0;
+    for v in g.node_ids() {
+        d = d.max(eccentricity(g, v)?);
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path_gives_linear_distances() {
+        let g = generators::path(5);
+        let t = bfs(&g, NodeId(0));
+        for i in 0..5 {
+            assert_eq!(t.distance(NodeId(i)), Some(i as u32));
+            assert_eq!(t.path_count(NodeId(i)), 1.0);
+        }
+    }
+
+    #[test]
+    fn bfs_counts_parallel_shortest_paths() {
+        // diamond: 0->1->3 and 0->2->3
+        let mut g: DiGraph = DiGraph::new();
+        let ns = g.add_nodes(4);
+        g.add_edge(ns[0], ns[1], ());
+        g.add_edge(ns[0], ns[2], ());
+        g.add_edge(ns[1], ns[3], ());
+        g.add_edge(ns[2], ns[3], ());
+        let t = bfs(&g, ns[0]);
+        assert_eq!(t.distance(ns[3]), Some(2));
+        assert_eq!(t.path_count(ns[3]), 2.0);
+        assert_eq!(t.pred_edges[ns[3].index()].len(), 2);
+    }
+
+    #[test]
+    fn bfs_counts_parallel_edges_as_distinct_paths() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ns = g.add_nodes(2);
+        g.add_edge(ns[0], ns[1], ());
+        g.add_edge(ns[0], ns[1], ());
+        let t = bfs(&g, ns[0]);
+        assert_eq!(t.path_count(ns[1]), 2.0);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable_nodes() {
+        let mut g: DiGraph = DiGraph::new();
+        let ns = g.add_nodes(3);
+        g.add_edge(ns[0], ns[1], ());
+        let t = bfs(&g, ns[0]);
+        assert_eq!(t.distance(ns[2]), None);
+        assert!(!t.is_reachable(ns[2]));
+        assert_eq!(t.path_count(ns[2]), 0.0);
+    }
+
+    #[test]
+    fn bfs_from_removed_node_is_empty() {
+        let mut g: DiGraph = DiGraph::new();
+        let ns = g.add_nodes(2);
+        g.add_edge(ns[0], ns[1], ());
+        g.remove_node(ns[0]);
+        let t = bfs(&g, ns[0]);
+        assert!(t.order.is_empty());
+        assert_eq!(t.distance(ns[1]), None);
+    }
+
+    #[test]
+    fn bfs_respects_edge_direction() {
+        let mut g: DiGraph = DiGraph::new();
+        let ns = g.add_nodes(2);
+        g.add_edge(ns[0], ns[1], ());
+        assert_eq!(bfs(&g, ns[1]).distance(ns[0]), None);
+    }
+
+    #[test]
+    fn cycle_has_two_shortest_paths_to_antipode_when_even() {
+        let g = generators::cycle(8);
+        let t = bfs(&g, NodeId(0));
+        assert_eq!(t.distance(NodeId(4)), Some(4));
+        assert_eq!(t.path_count(NodeId(4)), 2.0);
+        assert_eq!(t.path_count(NodeId(3)), 1.0);
+    }
+
+    #[test]
+    fn all_pairs_matches_single_source() {
+        let g = generators::star(5);
+        let m = all_pairs_distances(&g);
+        for s in g.node_ids() {
+            let t = bfs(&g, s);
+            for v in g.node_ids() {
+                assert_eq!(m[s.index()][v.index()], t.distance(v));
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_and_diameter_of_standard_topologies() {
+        assert!(is_connected(&generators::star(6)));
+        assert!(is_connected(&generators::cycle(7)));
+        assert_eq!(diameter(&generators::star(6)), Some(2));
+        assert_eq!(diameter(&generators::path(5)), Some(4));
+        assert_eq!(diameter(&generators::cycle(8)), Some(4));
+        assert_eq!(diameter(&generators::complete(5)), Some(1));
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let mut g: DiGraph = DiGraph::new();
+        g.add_nodes(3);
+        assert!(!is_connected(&g));
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn empty_graph_is_vacuously_connected() {
+        let g: DiGraph = DiGraph::new();
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(0));
+    }
+
+    #[test]
+    fn directed_one_way_ring_is_strongly_connected() {
+        let mut g: DiGraph = DiGraph::new();
+        let ns = g.add_nodes(4);
+        for i in 0..4 {
+            g.add_edge(ns[i], ns[(i + 1) % 4], ());
+        }
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn one_way_path_is_not_strongly_connected() {
+        let mut g: DiGraph = DiGraph::new();
+        let ns = g.add_nodes(3);
+        g.add_edge(ns[0], ns[1], ());
+        g.add_edge(ns[1], ns[2], ());
+        assert!(!is_connected(&g));
+    }
+}

@@ -1,0 +1,229 @@
+//! Weighted shortest paths (Dijkstra) with caller-supplied edge costs.
+//!
+//! The paper notes (§II-B) that users can estimate transaction rates "by
+//! calculating shortest paths using e.g. Dijkstra's algorithm for each pair
+//! of nodes". Hop-based analysis uses [`crate::bfs`]; this module serves the
+//! simulator, where routes minimise *fees* rather than hops, and costs come
+//! from a fee function evaluated per edge.
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A non-NaN `f64` ordered min-first inside the binary heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinCost(f64);
+
+impl Eq for MinCost {}
+
+impl PartialOrd for MinCost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinCost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that BinaryHeap (a max-heap) pops the smallest cost.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .expect("edge costs must not be NaN")
+    }
+}
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// Source node.
+    pub source: NodeId,
+    /// `cost[v]` = minimal total edge cost source→v, `None` if unreachable.
+    pub cost: Vec<Option<f64>>,
+    /// `parent_edge[v]` = the edge used to reach `v` on one cheapest path.
+    pub parent_edge: Vec<Option<EdgeId>>,
+}
+
+impl ShortestPathTree {
+    /// Minimal cost to `v`, `None` if unreachable.
+    pub fn cost_to(&self, v: NodeId) -> Option<f64> {
+        self.cost.get(v.index()).copied().flatten()
+    }
+
+    /// Reconstructs one cheapest path source→`v` as a list of edges, or
+    /// `None` if `v` is unreachable. The path is empty when `v == source`.
+    pub fn path_to<N, E>(&self, g: &DiGraph<N, E>, v: NodeId) -> Option<Vec<EdgeId>> {
+        self.cost_to(v)?;
+        let mut path = Vec::new();
+        let mut cur = v;
+        while cur != self.source {
+            let e = self.parent_edge[cur.index()]?;
+            path.push(e);
+            cur = g.edge_endpoints(e)?.0;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs Dijkstra from `source` with per-edge costs from `cost_fn`.
+///
+/// Edges for which `cost_fn` returns `None` are skipped (e.g. insufficient
+/// channel balance for the payment amount — the reduced-subgraph rule of
+/// §II-B expressed lazily).
+///
+/// # Panics
+///
+/// Panics if `cost_fn` returns a negative or NaN cost: Dijkstra requires
+/// non-negative edge costs, and routing fees are non-negative by definition
+/// (`F: [0,T] → R+`).
+///
+/// # Examples
+///
+/// ```
+/// use lcg_graph::{DiGraph, dijkstra::dijkstra};
+///
+/// let mut g: DiGraph<(), f64> = DiGraph::new();
+/// let ns = g.add_nodes(3);
+/// g.add_edge(ns[0], ns[1], 1.0);
+/// g.add_edge(ns[1], ns[2], 2.0);
+/// g.add_edge(ns[0], ns[2], 5.0);
+/// let t = dijkstra(&g, ns[0], |_, &fee| Some(fee));
+/// assert_eq!(t.cost_to(ns[2]), Some(3.0));
+/// ```
+pub fn dijkstra<N, E, F>(g: &DiGraph<N, E>, source: NodeId, mut cost_fn: F) -> ShortestPathTree
+where
+    F: FnMut(EdgeId, &E) -> Option<f64>,
+{
+    let n = g.node_bound();
+    let mut cost: Vec<Option<f64>> = vec![None; n];
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap: BinaryHeap<(MinCost, NodeId)> = BinaryHeap::new();
+
+    if g.contains_node(source) {
+        cost[source.index()] = Some(0.0);
+        heap.push((MinCost(0.0), source));
+    }
+
+    while let Some((MinCost(c), u)) = heap.pop() {
+        if cost[u.index()].is_some_and(|best| c > best) {
+            continue; // stale heap entry
+        }
+        for e in g.out_edges(u) {
+            let (_, v) = g.edge_endpoints(e).expect("live out-edge");
+            let Some(w) = cost_fn(e, g.edge(e).expect("live edge")) else {
+                continue;
+            };
+            assert!(
+                w >= 0.0 && !w.is_nan(),
+                "dijkstra requires non-negative, non-NaN edge costs (got {w})"
+            );
+            let next = c + w;
+            if cost[v.index()].is_none_or(|best| next < best) {
+                cost[v.index()] = Some(next);
+                parent_edge[v.index()] = Some(e);
+                heap.push((MinCost(next), v));
+            }
+        }
+    }
+
+    ShortestPathTree {
+        source,
+        cost,
+        parent_edge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::generators;
+
+    #[test]
+    fn unit_costs_match_bfs_distances() {
+        let g = generators::cycle(9);
+        let sp = dijkstra(&g, NodeId(0), |_, _| Some(1.0));
+        let t = bfs::bfs(&g, NodeId(0));
+        for v in g.node_ids() {
+            assert_eq!(
+                sp.cost_to(v).map(|c| c as u32),
+                t.distance(v),
+                "mismatch at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn picks_cheaper_longer_route() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let ns = g.add_nodes(4);
+        g.add_edge(ns[0], ns[3], 10.0);
+        g.add_edge(ns[0], ns[1], 1.0);
+        g.add_edge(ns[1], ns[2], 1.0);
+        g.add_edge(ns[2], ns[3], 1.0);
+        let sp = dijkstra(&g, ns[0], |_, &w| Some(w));
+        assert_eq!(sp.cost_to(ns[3]), Some(3.0));
+        let path = sp.path_to(&g, ns[3]).unwrap();
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn filtered_edges_are_not_traversed() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let ns = g.add_nodes(3);
+        g.add_edge(ns[0], ns[1], 5.0); // capacity too small, filtered below
+        g.add_edge(ns[0], ns[2], 20.0);
+        g.add_edge(ns[2], ns[1], 20.0);
+        let sp = dijkstra(&g, ns[0], |_, &cap| (cap >= 10.0).then_some(1.0));
+        assert_eq!(sp.cost_to(ns[1]), Some(2.0));
+    }
+
+    #[test]
+    fn unreachable_has_no_cost_or_path() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let ns = g.add_nodes(2);
+        let sp = dijkstra(&g, ns[0], |_, &w| Some(w));
+        assert_eq!(sp.cost_to(ns[1]), None);
+        assert!(sp.path_to(&g, ns[1]).is_none());
+    }
+
+    #[test]
+    fn path_to_source_is_empty() {
+        let g = generators::star(4);
+        let sp = dijkstra(&g, NodeId(0), |_, _| Some(1.0));
+        assert_eq!(sp.path_to(&g, NodeId(0)), Some(vec![]));
+    }
+
+    #[test]
+    fn zero_cost_edges_are_allowed() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let ns = g.add_nodes(3);
+        g.add_edge(ns[0], ns[1], 0.0);
+        g.add_edge(ns[1], ns[2], 0.0);
+        let sp = dijkstra(&g, ns[0], |_, &w| Some(w));
+        assert_eq!(sp.cost_to(ns[2]), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_costs_panic() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let ns = g.add_nodes(2);
+        g.add_edge(ns[0], ns[1], -1.0);
+        dijkstra(&g, ns[0], |_, &w| Some(w));
+    }
+
+    #[test]
+    fn reconstructed_path_is_contiguous() {
+        let g = generators::cycle(10);
+        let sp = dijkstra(&g, NodeId(0), |_, _| Some(1.0));
+        let path = sp.path_to(&g, NodeId(4)).unwrap();
+        let mut cur = NodeId(0);
+        for e in path {
+            let (s, d) = g.edge_endpoints(e).unwrap();
+            assert_eq!(s, cur);
+            cur = d;
+        }
+        assert_eq!(cur, NodeId(4));
+    }
+}

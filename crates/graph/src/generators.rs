@@ -1,0 +1,335 @@
+//! Topology generators.
+//!
+//! Builders for the simple topologies analysed in §IV (star, path, circle,
+//! complete) plus random models used by the experiments: Erdős–Rényi and the
+//! Barabási–Albert preferential-attachment model that motivates the paper's
+//! degree-proportional transaction distribution (§I, §II-B).
+//!
+//! All generators produce channel graphs: every undirected link is encoded
+//! as two directed edges with unit payload `()`. Capacity-carrying variants
+//! live in `lcg-sim`, which decorates these skeletons.
+
+use crate::graph::{DiGraph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Channel graph type produced by the generators: unit node and edge
+/// payloads, two directed edges per link.
+pub type Topology = DiGraph<(), ()>;
+
+/// Star graph: node `0` is the hub, nodes `1..=leaves` are leaves.
+///
+/// Thm 7–9 identify the parameter space where this is a Nash equilibrium.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0` (a star needs at least one leaf).
+pub fn star(leaves: usize) -> Topology {
+    assert!(leaves > 0, "star requires at least one leaf");
+    let mut g = Topology::new();
+    let hub = g.add_node(());
+    for _ in 0..leaves {
+        let leaf = g.add_node(());
+        g.add_undirected(hub, leaf, ());
+    }
+    g
+}
+
+/// Path graph on `n` nodes `0 - 1 - … - n-1`.
+///
+/// Thm 10 shows this is never a Nash equilibrium.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Topology {
+    assert!(n > 0, "path requires at least one node");
+    let mut g = Topology::new();
+    let ns = g.add_nodes(n);
+    for w in ns.windows(2) {
+        g.add_undirected(w[0], w[1], ());
+    }
+    g
+}
+
+/// Cycle (the paper's "circle graph") on `n` nodes.
+///
+/// Thm 11 shows this stops being a Nash equilibrium beyond some size `n₀`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller cycles degenerate to multi-edges).
+pub fn cycle(n: usize) -> Topology {
+    assert!(n >= 3, "cycle requires at least three nodes");
+    let mut g = path(n);
+    g.add_undirected(NodeId(n - 1), NodeId(0), ());
+    g
+}
+
+/// Complete graph on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Topology {
+    assert!(n > 0, "complete graph requires at least one node");
+    let mut g = Topology::new();
+    let ns = g.add_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_undirected(ns[i], ns[j], ());
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`: each unordered pair is linked independently with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]` or `n == 0`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Topology {
+    assert!(n > 0, "erdos_renyi requires at least one node");
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut g = Topology::new();
+    let ns = g.add_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_undirected(ns[i], ns[j], ());
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi conditioned on connectivity: resamples until the channel
+/// graph is connected (up to `max_attempts` tries).
+///
+/// Returns `None` if no connected sample was drawn, which signals that `p`
+/// is too small for the requested size rather than looping forever.
+pub fn connected_erdos_renyi<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+    max_attempts: usize,
+) -> Option<Topology> {
+    for _ in 0..max_attempts {
+        let g = erdos_renyi(n, p, rng);
+        if crate::bfs::is_connected(&g) {
+            return Some(g);
+        }
+    }
+    None
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m` nodes, then each new node links to `m` distinct existing nodes chosen
+/// with probability proportional to their current degree.
+///
+/// The paper motivates its Zipf transaction model by exactly this mechanism
+/// ("nodes transact more often with big vendors", §I), so BA graphs are the
+/// canonical random workload topology in the experiments.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Topology {
+    assert!(m > 0, "barabasi_albert requires m >= 1");
+    assert!(n >= m, "barabasi_albert requires n >= m");
+    let mut g = complete(m);
+    // Repeated-endpoint list: each link contributes both endpoints, so
+    // sampling uniformly from it is degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    for (_, s, d, _) in g.edges() {
+        if s < d {
+            endpoints.push(s);
+            endpoints.push(d);
+        }
+    }
+    if endpoints.is_empty() {
+        // m == 1: seed with the single node so the first attachment works.
+        endpoints.push(NodeId(0));
+    }
+    for _ in m..n {
+        let v = g.add_node(());
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m && guard < 10_000 {
+            let &candidate = endpoints.choose(rng).expect("non-empty endpoint list");
+            if candidate != v && !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+            guard += 1;
+        }
+        // Fallback: deterministic fill if rejection sampling stalls (tiny
+        // graphs where all candidates were already chosen).
+        if targets.len() < m {
+            for u in g.node_ids() {
+                if u != v && !targets.contains(&u) {
+                    targets.push(u);
+                    if targets.len() == m {
+                        break;
+                    }
+                }
+            }
+        }
+        for &t in &targets {
+            g.add_undirected(v, t, ());
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// A path of length `d` whose midpoint is additionally connected to `extra`
+/// hub leaves — the "longest shortest path containing a hub" construction
+/// behind Thm 6.
+///
+/// Node `0..=d` form the path; the midpoint `d/2` is the hub and gets
+/// `extra` fresh leaves attached.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn hub_path(d: usize, extra: usize) -> Topology {
+    assert!(d > 0, "hub_path requires a path of length >= 1");
+    let mut g = path(d + 1);
+    let hub = NodeId(d / 2);
+    for _ in 0..extra {
+        let leaf = g.add_node(());
+        g.add_undirected(hub, leaf, ());
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 10); // 5 channels * 2 directions
+        assert_eq!(g.in_degree(NodeId(0)), 5);
+        for i in 1..=5 {
+            assert_eq!(g.in_degree(NodeId(i)), 1);
+        }
+        assert_eq!(bfs::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn single_leaf_star_is_one_channel() {
+        let g = star(1);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn star_zero_leaves_panics() {
+        star(0);
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(bfs::diameter(&g), Some(3));
+        assert_eq!(g.in_degree(NodeId(0)), 1);
+        assert_eq!(g.in_degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn singleton_path_is_a_lone_node() {
+        let g = path(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 12);
+        for v in g.node_ids() {
+            assert_eq!(g.in_degree(v), 2);
+        }
+        assert_eq!(bfs::diameter(&g), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 5 * 4); // n(n-1) directed edges
+        assert_eq!(bfs::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = erdos_renyi(6, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(6, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 6 * 5);
+    }
+
+    #[test]
+    fn connected_erdos_renyi_is_connected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = connected_erdos_renyi(12, 0.4, &mut rng, 100).expect("should find one");
+        assert!(bfs::is_connected(&g));
+    }
+
+    #[test]
+    fn connected_erdos_renyi_gives_up_gracefully() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(connected_erdos_renyi(10, 0.0, &mut rng, 5).is_none());
+    }
+
+    #[test]
+    fn barabasi_albert_degree_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = barabasi_albert(50, 2, &mut rng);
+        assert_eq!(g.node_count(), 50);
+        // seed clique K2 has 1 link; each of the 48 newcomers adds 2.
+        assert_eq!(g.edge_count(), 2 * (1 + 48 * 2));
+        assert!(bfs::is_connected(&g));
+        // Preferential attachment should produce a hub: some node with
+        // degree well above m.
+        let max_deg = g.node_ids().map(|v| g.in_degree(v)).max().unwrap();
+        assert!(max_deg >= 5, "expected a hub, max degree {max_deg}");
+    }
+
+    #[test]
+    fn barabasi_albert_m1_is_a_tree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(20, 1, &mut rng);
+        assert_eq!(g.edge_count(), 2 * 19); // tree: n-1 links
+        assert!(bfs::is_connected(&g));
+    }
+
+    #[test]
+    fn hub_path_structure() {
+        let g = hub_path(6, 4);
+        assert_eq!(g.node_count(), 7 + 4);
+        let hub = NodeId(3);
+        assert_eq!(g.in_degree(hub), 2 + 4);
+        // The path endpoints are still at distance 6 from each other.
+        let t = bfs::bfs(&g, NodeId(0));
+        assert_eq!(t.distance(NodeId(6)), Some(6));
+    }
+}

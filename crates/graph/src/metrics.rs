@@ -1,0 +1,196 @@
+//! Topology metrics used by the experiments and the equilibrium analysis.
+//!
+//! The paper's related work (\[26\], \[43\]) characterizes equilibrium
+//! networks by diameter, clustering and degree distribution; these
+//! metrics let the best-response-dynamics experiments report the same
+//! quantities for the networks our game actually converges to.
+
+use crate::bfs;
+use crate::graph::{DiGraph, NodeId};
+
+/// Degree histogram: `hist[d]` = number of live nodes with in-degree `d`.
+pub fn degree_histogram<N, E>(g: &DiGraph<N, E>) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.node_ids() {
+        let d = g.in_degree(v);
+        if hist.len() <= d {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Maximum in-degree over live nodes (0 for the empty graph).
+pub fn max_degree<N, E>(g: &DiGraph<N, E>) -> usize {
+    g.node_ids().map(|v| g.in_degree(v)).max().unwrap_or(0)
+}
+
+/// Mean in-degree over live nodes (0 for the empty graph).
+pub fn mean_degree<N, E>(g: &DiGraph<N, E>) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    g.node_ids().map(|v| g.in_degree(v)).sum::<usize>() as f64 / n as f64
+}
+
+/// Local clustering coefficient of `v` for the channel-graph encoding:
+/// the fraction of pairs of distinct neighbors that are themselves
+/// linked. `None` when `v` has fewer than two neighbors.
+pub fn local_clustering<N, E>(g: &DiGraph<N, E>, v: NodeId) -> Option<f64> {
+    let ns = g.neighbors(v);
+    if ns.len() < 2 {
+        return None;
+    }
+    let mut linked = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..ns.len() {
+        for j in (i + 1)..ns.len() {
+            pairs += 1;
+            if g.has_edge(ns[i], ns[j]) || g.has_edge(ns[j], ns[i]) {
+                linked += 1;
+            }
+        }
+    }
+    Some(linked as f64 / pairs as f64)
+}
+
+/// Average clustering coefficient over nodes with ≥ 2 neighbors
+/// (0 when no node qualifies).
+pub fn average_clustering<N, E>(g: &DiGraph<N, E>) -> f64 {
+    let values: Vec<f64> = g
+        .node_ids()
+        .filter_map(|v| local_clustering(g, v))
+        .collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Average shortest-path length over ordered reachable pairs (`None` if
+/// no such pair exists). The "small world" quantity of \[43\].
+pub fn average_path_length<N, E>(g: &DiGraph<N, E>) -> Option<f64> {
+    let mut total = 0.0;
+    let mut pairs = 0u64;
+    for s in g.node_ids() {
+        let t = bfs::bfs(g, s);
+        for r in g.node_ids() {
+            if r == s {
+                continue;
+            }
+            if let Some(d) = t.distance(r) {
+                total += d as f64;
+                pairs += 1;
+            }
+        }
+    }
+    (pairs > 0).then(|| total / pairs as f64)
+}
+
+/// A compact structural summary for experiment tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Live nodes.
+    pub nodes: usize,
+    /// Undirected channels (directed edges / 2).
+    pub channels: usize,
+    /// Diameter (`None` when disconnected).
+    pub diameter: Option<u32>,
+    /// Average shortest-path length over reachable ordered pairs.
+    pub avg_path_length: Option<f64>,
+    /// Average clustering coefficient.
+    pub clustering: f64,
+    /// Maximum in-degree.
+    pub max_degree: usize,
+}
+
+/// Computes the full summary.
+pub fn summarize<N, E>(g: &DiGraph<N, E>) -> GraphSummary {
+    GraphSummary {
+        nodes: g.node_count(),
+        channels: g.edge_count() / 2,
+        diameter: bfs::diameter(g),
+        avg_path_length: average_path_length(g),
+        clustering: average_clustering(g),
+        max_degree: max_degree(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn star_metrics() {
+        let g = generators::star(5);
+        assert_eq!(max_degree(&g), 5);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 5);
+        assert_eq!(hist[5], 1);
+        // No two leaves are linked: hub clustering 0; leaves have a single
+        // neighbor, excluded.
+        assert_eq!(local_clustering(&g, NodeId(0)), Some(0.0));
+        assert_eq!(local_clustering(&g, NodeId(1)), None);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn complete_graph_is_fully_clustered() {
+        let g = generators::complete(5);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(average_path_length(&g), Some(1.0));
+    }
+
+    #[test]
+    fn triangle_clustering() {
+        let mut g = generators::path(3);
+        g.add_undirected(NodeId(0), NodeId(2), ());
+        for v in g.node_ids() {
+            assert_eq!(local_clustering(&g, v), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn path_average_length() {
+        // Path 0-1-2: pairs (0,1),(1,0),(1,2),(2,1) at 1; (0,2),(2,0) at 2.
+        let g = generators::path(3);
+        let apl = average_path_length(&g).unwrap();
+        assert!((apl - (4.0 + 4.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_disconnected_edge_cases() {
+        let g: DiGraph = DiGraph::new();
+        assert_eq!(max_degree(&g), 0);
+        assert_eq!(mean_degree(&g), 0.0);
+        assert_eq!(average_path_length(&g), None);
+        let mut h: DiGraph = DiGraph::new();
+        h.add_nodes(3);
+        assert_eq!(average_path_length(&h), None);
+        assert_eq!(average_clustering(&h), 0.0);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let g = generators::cycle(6);
+        let s = summarize(&g);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.channels, 6);
+        assert_eq!(s.diameter, Some(3));
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.clustering, 0.0);
+        assert!(s.avg_path_length.unwrap() > 1.0);
+    }
+
+    #[test]
+    fn mean_degree_counts_channels_twice() {
+        let g = generators::star(4);
+        // 4 channels over 5 nodes: mean in-degree 8/5... in-degree per
+        // channel endpoint is 1 each: total 8, mean 1.6.
+        assert!((mean_degree(&g) - 1.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! Bilateral payment-channel state (paper Figure 1).
+//!
+//! A channel is a joint account between two users `u` and `v`: each party
+//! locks an initial balance, and every in-channel payment moves value from
+//! one balance to the other without touching the chain. A payment of size
+//! `x` from `u` succeeds iff `x ≤ b_u` ("a party cannot send more coins
+//! than it currently owns", §II-A); the total capacity `b_u + b_v` is
+//! invariant for the lifetime of the channel.
+//!
+//! Figure 1 of the paper walks a channel from balances `(10, 7)` through
+//! two successful payments of 5 to `(0, 17)`, with a payment of 6 failing
+//! at `(5, 12)` because `6 > b_u = 5`. [`Channel`] reproduces exactly those
+//! semantics and is the payload type behind each channel in
+//! [`crate::network::Pcn`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which side of a channel a payment originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The first party (`u` in the paper's figures).
+    A,
+    /// The second party (`v`).
+    B,
+}
+
+impl Side {
+    /// The opposite side.
+    #[inline]
+    pub fn other(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::A => f.write_str("A"),
+            Side::B => f.write_str("B"),
+        }
+    }
+}
+
+/// Error returned when an in-channel payment cannot be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PaymentError {
+    /// The sender's balance is smaller than the payment size.
+    InsufficientBalance {
+        /// Sender balance at the time of the attempt.
+        available: f64,
+        /// Requested payment size.
+        requested: f64,
+    },
+    /// Payment size was zero, negative, or NaN.
+    InvalidAmount {
+        /// The offending amount.
+        amount: f64,
+    },
+}
+
+impl fmt::Display for PaymentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaymentError::InsufficientBalance {
+                available,
+                requested,
+            } => write!(
+                f,
+                "insufficient balance: requested {requested} but only {available} available"
+            ),
+            PaymentError::InvalidAmount { amount } => {
+                write!(f, "invalid payment amount {amount}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PaymentError {}
+
+/// Balance state of one bilateral payment channel.
+///
+/// # Examples
+///
+/// Figure 1 of the paper:
+///
+/// ```
+/// use lcg_sim::channel::{Channel, Side};
+///
+/// let mut ch = Channel::new(10.0, 7.0);
+/// ch.pay(Side::A, 5.0)?;                 // (10,7) -> (5,12)
+/// assert!(ch.pay(Side::A, 6.0).is_err()); // 6 > b_u = 5: rejected
+/// ch.pay(Side::A, 5.0)?;                 // (5,12) -> (0,17)
+/// assert_eq!(ch.balance(Side::A), 0.0);
+/// assert_eq!(ch.balance(Side::B), 17.0);
+/// # Ok::<(), lcg_sim::channel::PaymentError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    balance_a: f64,
+    balance_b: f64,
+}
+
+impl Channel {
+    /// Opens a channel with the given initial balances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either balance is negative or NaN — channels are funded
+    /// with non-negative on-chain deposits.
+    pub fn new(balance_a: f64, balance_b: f64) -> Self {
+        assert!(
+            balance_a >= 0.0 && !balance_a.is_nan(),
+            "balance_a must be non-negative, got {balance_a}"
+        );
+        assert!(
+            balance_b >= 0.0 && !balance_b.is_nan(),
+            "balance_b must be non-negative, got {balance_b}"
+        );
+        Channel {
+            balance_a,
+            balance_b,
+        }
+    }
+
+    /// Opens a channel funded entirely by side `A` — the common case for a
+    /// newly joining node locking `l` coins into a fresh channel (§II-C).
+    pub fn funded_by_a(amount: f64) -> Self {
+        Channel::new(amount, 0.0)
+    }
+
+    /// Balance currently owned by `side`.
+    pub fn balance(&self, side: Side) -> f64 {
+        match side {
+            Side::A => self.balance_a,
+            Side::B => self.balance_b,
+        }
+    }
+
+    /// Total capacity `b_A + b_B`; invariant under payments.
+    pub fn capacity(&self) -> f64 {
+        self.balance_a + self.balance_b
+    }
+
+    /// Applies an in-channel payment of `amount` from `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`PaymentError::InvalidAmount`] if `amount` is not strictly positive
+    /// and finite; [`PaymentError::InsufficientBalance`] if the sender owns
+    /// less than `amount` (the channel state is unchanged on error).
+    pub fn pay(&mut self, from: Side, amount: f64) -> Result<(), PaymentError> {
+        if !(amount > 0.0) || amount.is_infinite() {
+            return Err(PaymentError::InvalidAmount { amount });
+        }
+        let available = self.balance(from);
+        // Tolerate floating-point dust from fee arithmetic.
+        if amount > available + 1e-9 {
+            return Err(PaymentError::InsufficientBalance {
+                available,
+                requested: amount,
+            });
+        }
+        let amount = amount.min(available);
+        match from {
+            Side::A => {
+                self.balance_a -= amount;
+                self.balance_b += amount;
+            }
+            Side::B => {
+                self.balance_b -= amount;
+                self.balance_a += amount;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a payment of `amount` from `from` would currently succeed.
+    pub fn can_pay(&self, from: Side, amount: f64) -> bool {
+        amount > 0.0 && amount <= self.balance(from) + 1e-9
+    }
+
+    /// Final balance distribution `(b_A, b_B)` posted on-chain at close.
+    pub fn settle(self) -> (f64, f64) {
+        (self.balance_a, self.balance_b)
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} | {}]", self.balance_a, self.balance_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_sequence() {
+        // Paper Fig. 1: (10, 7) --5--> (5, 12); attempt 6 fails; --5--> (0, 17).
+        let mut ch = Channel::new(10.0, 7.0);
+        ch.pay(Side::A, 5.0).unwrap();
+        assert_eq!((ch.balance(Side::A), ch.balance(Side::B)), (5.0, 12.0));
+        let err = ch.pay(Side::A, 6.0).unwrap_err();
+        assert_eq!(
+            err,
+            PaymentError::InsufficientBalance {
+                available: 5.0,
+                requested: 6.0
+            }
+        );
+        // Failed payment leaves state untouched.
+        assert_eq!((ch.balance(Side::A), ch.balance(Side::B)), (5.0, 12.0));
+        ch.pay(Side::A, 5.0).unwrap();
+        assert_eq!((ch.balance(Side::A), ch.balance(Side::B)), (0.0, 17.0));
+    }
+
+    #[test]
+    fn capacity_is_invariant_under_payments() {
+        let mut ch = Channel::new(8.0, 3.0);
+        let cap = ch.capacity();
+        ch.pay(Side::A, 2.5).unwrap();
+        ch.pay(Side::B, 4.0).unwrap();
+        ch.pay(Side::A, 1.0).unwrap();
+        assert!((ch.capacity() - cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payments_flow_both_directions() {
+        let mut ch = Channel::new(1.0, 9.0);
+        ch.pay(Side::B, 9.0).unwrap();
+        assert_eq!(ch.balance(Side::A), 10.0);
+        assert_eq!(ch.balance(Side::B), 0.0);
+        assert!(ch.pay(Side::B, 0.1).is_err());
+        ch.pay(Side::A, 10.0).unwrap();
+        assert_eq!(ch.balance(Side::B), 10.0);
+    }
+
+    #[test]
+    fn invalid_amounts_rejected() {
+        let mut ch = Channel::new(5.0, 5.0);
+        assert!(matches!(
+            ch.pay(Side::A, 0.0),
+            Err(PaymentError::InvalidAmount { .. })
+        ));
+        assert!(matches!(
+            ch.pay(Side::A, -1.0),
+            Err(PaymentError::InvalidAmount { .. })
+        ));
+        assert!(matches!(
+            ch.pay(Side::A, f64::NAN),
+            Err(PaymentError::InvalidAmount { .. })
+        ));
+        assert!(matches!(
+            ch.pay(Side::A, f64::INFINITY),
+            Err(PaymentError::InvalidAmount { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_balance_payment_succeeds_and_zeroes() {
+        let mut ch = Channel::funded_by_a(4.0);
+        assert!(ch.can_pay(Side::A, 4.0));
+        assert!(!ch.can_pay(Side::B, 0.5));
+        ch.pay(Side::A, 4.0).unwrap();
+        assert_eq!(ch.balance(Side::A), 0.0);
+    }
+
+    #[test]
+    fn floating_point_dust_is_tolerated() {
+        let mut ch = Channel::new(0.3, 0.0);
+        // 0.1 * 3 > 0.3 in f64 by ~5e-17; the epsilon guard must accept it.
+        ch.pay(Side::A, 0.1 + 0.1 + 0.1).unwrap();
+        assert!(ch.balance(Side::A).abs() < 1e-9);
+    }
+
+    #[test]
+    fn settle_reports_final_split() {
+        let mut ch = Channel::new(6.0, 2.0);
+        ch.pay(Side::A, 1.0).unwrap();
+        assert_eq!(ch.settle(), (5.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_funding_panics() {
+        Channel::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn side_other_flips() {
+        assert_eq!(Side::A.other(), Side::B);
+        assert_eq!(Side::B.other(), Side::A);
+        assert_eq!(Side::A.to_string(), "A");
+    }
+
+    #[test]
+    fn display_shows_both_balances() {
+        let ch = Channel::new(1.5, 2.5);
+        assert_eq!(ch.to_string(), "[1.5 | 2.5]");
+    }
+}

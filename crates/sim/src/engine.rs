@@ -1,0 +1,266 @@
+//! Discrete-event payment simulation.
+//!
+//! Replays a generated transaction stream against a [`Pcn`], recording the
+//! outcome of every payment, per-edge usage counts and per-node fee flows.
+//! Experiment E12 uses this engine to validate the paper's analytic rate
+//! estimator (`λ_e = N · p_e`, Eq. 2) against observed edge usage: the
+//! analytic model assumes capacities never bind, so the engine is run with
+//! either generous balances (validation mode) or realistic balances
+//! (depletion studies — an extension beyond the paper).
+
+use crate::network::{Pcn, RouteError};
+use crate::workload::Tx;
+use lcg_graph::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Transactions attempted.
+    pub attempted: u64,
+    /// Transactions delivered.
+    pub succeeded: u64,
+    /// Failures: no route existed in the capacity-reduced graph.
+    pub failed_no_path: u64,
+    /// Failures: a hop could not carry amount + downstream fees.
+    pub failed_capacity: u64,
+    /// Failures: malformed transactions (self-payments, zero amounts).
+    pub failed_invalid: u64,
+    /// Total coins delivered end-to-end.
+    pub volume_delivered: f64,
+    /// Total routing fees paid by senders (= earned by intermediaries).
+    pub total_fees: f64,
+    /// Number of *successful* payments that traversed each directed edge,
+    /// indexed by `EdgeId::index()`.
+    pub edge_usage: Vec<u64>,
+    /// Fees earned per node over the run, indexed by `NodeId::index()`.
+    pub node_revenue: Vec<f64>,
+    /// Fees paid per node (as sender) over the run.
+    pub node_fees_paid: Vec<f64>,
+    /// Simulated time horizon (arrival time of the last transaction).
+    pub horizon: f64,
+}
+
+impl SimReport {
+    /// Fraction of attempted payments that were delivered.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            return 1.0;
+        }
+        self.succeeded as f64 / self.attempted as f64
+    }
+
+    /// Observed usage rate of edge `e` (traversals per unit time); compare
+    /// against the analytic `λ_e`.
+    pub fn edge_rate(&self, e: lcg_graph::EdgeId) -> f64 {
+        if self.horizon <= 0.0 {
+            return 0.0;
+        }
+        self.edge_usage.get(e.index()).copied().unwrap_or(0) as f64 / self.horizon
+    }
+
+    /// Observed fee-revenue rate of `u` per unit time; compare against the
+    /// analytic `E^rev_u` (Eq. 3).
+    pub fn revenue_rate(&self, u: NodeId) -> f64 {
+        if self.horizon <= 0.0 {
+            return 0.0;
+        }
+        self.node_revenue.get(u.index()).copied().unwrap_or(0.0) / self.horizon
+    }
+}
+
+/// Replays `txs` (in order) against `pcn`, sampling uniformly among
+/// shortest paths for each payment.
+///
+/// The transaction stream is typically produced by
+/// [`crate::workload::WorkloadBuilder::generate`]; any slice of [`Tx`]
+/// works, which the tests use to craft adversarial sequences.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_sim::engine::simulate;
+/// use lcg_sim::network::Pcn;
+/// use lcg_sim::workload::{PairWeights, WorkloadBuilder};
+/// use lcg_sim::fees::FeeFunction;
+/// use lcg_sim::onchain::CostModel;
+/// use rand::SeedableRng;
+///
+/// let topo = lcg_graph::generators::star(4);
+/// let mut pcn = Pcn::from_topology(&topo, 1_000.0, CostModel::default(),
+///                                  FeeFunction::Constant { fee: 0.01 });
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let txs = WorkloadBuilder::new(PairWeights::uniform(5)).generate(200, &mut rng);
+/// let report = simulate(&mut pcn, &txs, &mut rng);
+/// assert_eq!(report.attempted, 200);
+/// assert!(report.success_rate() > 0.99);
+/// ```
+pub fn simulate<R: Rng + ?Sized>(pcn: &mut Pcn, txs: &[Tx], rng: &mut R) -> SimReport {
+    let mut report = SimReport {
+        attempted: 0,
+        succeeded: 0,
+        failed_no_path: 0,
+        failed_capacity: 0,
+        failed_invalid: 0,
+        volume_delivered: 0.0,
+        total_fees: 0.0,
+        edge_usage: vec![0; pcn.graph().edge_bound()],
+        node_revenue: vec![0.0; pcn.graph().node_bound()],
+        node_fees_paid: vec![0.0; pcn.graph().node_bound()],
+        horizon: txs.last().map_or(0.0, |t| t.time),
+    };
+    for tx in txs {
+        report.attempted += 1;
+        match pcn.pay_with_rng(tx.sender, tx.receiver, tx.size, rng) {
+            Ok(receipt) => {
+                report.succeeded += 1;
+                report.volume_delivered += tx.size;
+                report.total_fees += receipt.fees_paid;
+                for e in &receipt.path {
+                    if e.index() >= report.edge_usage.len() {
+                        report.edge_usage.resize(e.index() + 1, 0);
+                    }
+                    report.edge_usage[e.index()] += 1;
+                }
+                let per_hop = if receipt.intermediaries.is_empty() {
+                    0.0
+                } else {
+                    receipt.fees_paid / receipt.intermediaries.len() as f64
+                };
+                for v in &receipt.intermediaries {
+                    report.node_revenue[v.index()] += per_hop;
+                }
+                report.node_fees_paid[tx.sender.index()] += receipt.fees_paid;
+            }
+            Err(RouteError::NoPath) => report.failed_no_path += 1,
+            Err(RouteError::InsufficientCapacity { .. }) => report.failed_capacity += 1,
+            Err(_) => report.failed_invalid += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fees::{FeeFunction, TxSizeDistribution};
+    use crate::onchain::CostModel;
+    use crate::workload::{PairWeights, WorkloadBuilder};
+    use lcg_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star_pcn(balance: f64, fee: f64) -> Pcn {
+        Pcn::from_topology(
+            &generators::star(4),
+            balance,
+            CostModel::default(),
+            FeeFunction::Constant { fee },
+        )
+    }
+
+    #[test]
+    fn generous_balances_deliver_everything() {
+        let mut pcn = star_pcn(1_000_000.0, 0.01);
+        let mut rng = StdRng::seed_from_u64(2);
+        let txs = WorkloadBuilder::new(PairWeights::uniform(5))
+            .sizes(TxSizeDistribution::Constant { size: 1.0 })
+            .generate(1_000, &mut rng);
+        let report = simulate(&mut pcn, &txs, &mut rng);
+        assert_eq!(report.succeeded, 1_000);
+        assert_eq!(report.success_rate(), 1.0);
+        assert!((report.volume_delivered - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hub_earns_all_fees_in_a_star() {
+        let mut pcn = star_pcn(1_000_000.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let txs = WorkloadBuilder::new(PairWeights::uniform(5)).generate(500, &mut rng);
+        let report = simulate(&mut pcn, &txs, &mut rng);
+        let hub_rev = report.node_revenue[0];
+        let total: f64 = report.node_revenue.iter().sum();
+        assert!((hub_rev - total).abs() < 1e-9, "non-hub revenue detected");
+        assert!((report.total_fees - total).abs() < 1e-9);
+        // Leaf-to-leaf payments dominate: 3/4 of receivers are other leaves.
+        assert!(hub_rev > 0.0);
+    }
+
+    #[test]
+    fn tight_balances_cause_capacity_failures() {
+        let mut pcn = star_pcn(3.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let txs = WorkloadBuilder::new(PairWeights::uniform(5))
+            .sizes(TxSizeDistribution::Constant { size: 2.0 })
+            .generate(300, &mut rng);
+        let report = simulate(&mut pcn, &txs, &mut rng);
+        assert!(report.succeeded > 0, "some payments should pass");
+        assert!(
+            report.failed_no_path + report.failed_capacity > 0,
+            "depletion must eventually block payments"
+        );
+        assert_eq!(
+            report.attempted,
+            report.succeeded
+                + report.failed_no_path
+                + report.failed_capacity
+                + report.failed_invalid
+        );
+    }
+
+    #[test]
+    fn edge_usage_counts_successful_traversals() {
+        let mut pcn = star_pcn(1_000_000.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let txs = WorkloadBuilder::new(PairWeights::uniform(5)).generate(400, &mut rng);
+        let report = simulate(&mut pcn, &txs, &mut rng);
+        let total_usage: u64 = report.edge_usage.iter().sum();
+        // Leaf->leaf = 2 hops, leaf<->hub = 1 hop; every success ≥ 1 hop.
+        assert!(total_usage >= report.succeeded);
+        assert!(total_usage <= 2 * report.succeeded);
+    }
+
+    #[test]
+    fn empty_stream_reports_cleanly() {
+        let mut pcn = star_pcn(10.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let report = simulate(&mut pcn, &[], &mut rng);
+        assert_eq!(report.attempted, 0);
+        assert_eq!(report.success_rate(), 1.0);
+        assert_eq!(report.horizon, 0.0);
+    }
+
+    #[test]
+    fn edge_rate_normalizes_by_horizon() {
+        let mut pcn = star_pcn(1_000_000.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let txs = WorkloadBuilder::new(PairWeights::uniform(5))
+            .sender_rates(vec![1.0; 5])
+            .generate(2_000, &mut rng);
+        let report = simulate(&mut pcn, &txs, &mut rng);
+        // Total traversal rate = sum of edge rates; must be between the
+        // arrival rate (all 1-hop) and twice it (all 2-hop), N = 5.
+        let total_rate: f64 = pcn
+            .graph()
+            .edge_ids()
+            .map(|e| report.edge_rate(e))
+            .sum();
+        assert!(total_rate > 5.0 * 0.9, "rate {total_rate}");
+        assert!(total_rate < 10.0 * 1.1, "rate {total_rate}");
+    }
+
+    #[test]
+    fn self_payments_count_as_invalid() {
+        let mut pcn = star_pcn(10.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let txs = vec![Tx {
+            time: 1.0,
+            sender: NodeId(1),
+            receiver: NodeId(1),
+            size: 1.0,
+        }];
+        let report = simulate(&mut pcn, &txs, &mut rng);
+        assert_eq!(report.failed_invalid, 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Routing fees and transaction-size distributions (paper §II-A/§II-B).
+//!
+//! The paper abstracts all intermediaries' pricing into one *global* fee
+//! function `F : [0, T] → R+` over transaction sizes, and works with the
+//! average fee
+//!
+//! ```text
+//! f_avg = ∫₀ᵀ p_{tx size = t} · F(t) dt
+//! ```
+//!
+//! where `p_{tx size = t}` is a global distribution of transaction sizes.
+//! The paper leaves both `F` and the size distribution abstract; this module
+//! supplies the standard concrete choices (constant, linear-in-size and
+//! proportional fees; point-mass, uniform and truncated-exponential sizes)
+//! and computes `f_avg` analytically where possible and by Simpson
+//! integration otherwise.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The global fee function `F : [0, T] → R+` charged by each intermediary
+/// for forwarding a transaction of a given size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FeeFunction {
+    /// Flat fee per forwarded transaction, independent of size — the model
+    /// of the prior work \[19\] the paper generalizes.
+    Constant {
+        /// Fee charged for any size.
+        fee: f64,
+    },
+    /// Lightning-style two-part tariff: `base + rate · t`.
+    Linear {
+        /// Base fee charged regardless of size.
+        base: f64,
+        /// Fee per coin forwarded.
+        rate: f64,
+    },
+    /// Purely proportional fee `rate · t`.
+    Proportional {
+        /// Fee per coin forwarded.
+        rate: f64,
+    },
+}
+
+impl FeeFunction {
+    /// Evaluates `F(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or NaN (sizes live in `[0, T]`).
+    pub fn fee(&self, t: f64) -> f64 {
+        assert!(t >= 0.0 && !t.is_nan(), "transaction size must be >= 0, got {t}");
+        match *self {
+            FeeFunction::Constant { fee } => fee,
+            FeeFunction::Linear { base, rate } => base + rate * t,
+            FeeFunction::Proportional { rate } => rate * t,
+        }
+    }
+}
+
+impl Default for FeeFunction {
+    fn default() -> Self {
+        FeeFunction::Constant { fee: 0.1 }
+    }
+}
+
+/// Global distribution of transaction sizes on `[0, T]`
+/// (`p_{tx size = t}` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TxSizeDistribution {
+    /// All transactions have the same size (point mass at `size`).
+    Constant {
+        /// The common transaction size.
+        size: f64,
+    },
+    /// Uniform on `[0, max]`.
+    Uniform {
+        /// Upper bound `T` on the transaction size.
+        max: f64,
+    },
+    /// Exponential with the given mean, truncated (by rejection) to
+    /// `[0, max]` — a long-tailed but bounded size model.
+    TruncatedExp {
+        /// Mean of the underlying exponential.
+        mean: f64,
+        /// Upper bound `T` on the transaction size.
+        max: f64,
+    },
+}
+
+impl TxSizeDistribution {
+    /// Upper bound `T` of the support.
+    pub fn max_size(&self) -> f64 {
+        match *self {
+            TxSizeDistribution::Constant { size } => size,
+            TxSizeDistribution::Uniform { max } => max,
+            TxSizeDistribution::TruncatedExp { max, .. } => max,
+        }
+    }
+
+    /// Probability density at `t` (point mass reported as `None`).
+    fn density(&self, t: f64) -> Option<f64> {
+        match *self {
+            TxSizeDistribution::Constant { .. } => None,
+            TxSizeDistribution::Uniform { max } => {
+                Some(if (0.0..=max).contains(&t) { 1.0 / max } else { 0.0 })
+            }
+            TxSizeDistribution::TruncatedExp { mean, max } => {
+                if !(0.0..=max).contains(&t) {
+                    return Some(0.0);
+                }
+                let lambda = 1.0 / mean;
+                let norm = 1.0 - (-lambda * max).exp();
+                Some(lambda * (-lambda * t).exp() / norm)
+            }
+        }
+    }
+
+    /// Draws a transaction size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            TxSizeDistribution::Constant { size } => size,
+            TxSizeDistribution::Uniform { max } => rng.gen_range(0.0..=max),
+            TxSizeDistribution::TruncatedExp { mean, max } => loop {
+                let u: f64 = rng.gen_range(0.0..1.0f64);
+                let x = -mean * (1.0 - u).ln();
+                if x <= max {
+                    break x;
+                }
+            },
+        }
+    }
+}
+
+impl Default for TxSizeDistribution {
+    fn default() -> Self {
+        TxSizeDistribution::Constant { size: 1.0 }
+    }
+}
+
+/// Computes the paper's average fee
+/// `f_avg = ∫₀ᵀ p_{tx size=t} · F(t) dt`.
+///
+/// Point-mass size distributions are evaluated exactly; continuous ones by
+/// composite Simpson's rule with 1024 panels (errors `O(h⁴)`, far below the
+/// modelling error of either input).
+///
+/// # Examples
+///
+/// ```
+/// use lcg_sim::fees::{average_fee, FeeFunction, TxSizeDistribution};
+///
+/// // Uniform sizes on [0, 10], proportional fee 1% of size:
+/// let favg = average_fee(
+///     &FeeFunction::Proportional { rate: 0.01 },
+///     &TxSizeDistribution::Uniform { max: 10.0 },
+/// );
+/// assert!((favg - 0.05).abs() < 1e-9); // E[0.01·t] = 0.01·5
+/// ```
+pub fn average_fee(fee: &FeeFunction, sizes: &TxSizeDistribution) -> f64 {
+    match sizes {
+        TxSizeDistribution::Constant { size } => fee.fee(*size),
+        _ => {
+            let t_max = sizes.max_size();
+            let n = 1024usize; // even panel count for Simpson
+            let h = t_max / n as f64;
+            let integrand = |t: f64| sizes.density(t).unwrap_or(0.0) * fee.fee(t);
+            let mut acc = integrand(0.0) + integrand(t_max);
+            for i in 1..n {
+                let t = i as f64 * h;
+                acc += integrand(t) * if i % 2 == 0 { 2.0 } else { 4.0 };
+            }
+            acc * h / 3.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_fee_is_size_independent() {
+        let f = FeeFunction::Constant { fee: 0.3 };
+        assert_eq!(f.fee(0.0), 0.3);
+        assert_eq!(f.fee(100.0), 0.3);
+    }
+
+    #[test]
+    fn linear_fee_combines_base_and_rate() {
+        let f = FeeFunction::Linear { base: 0.1, rate: 0.02 };
+        assert!((f.fee(5.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be >= 0")]
+    fn negative_size_panics() {
+        FeeFunction::default().fee(-1.0);
+    }
+
+    #[test]
+    fn favg_point_mass_is_exact() {
+        let favg = average_fee(
+            &FeeFunction::Linear { base: 1.0, rate: 0.5 },
+            &TxSizeDistribution::Constant { size: 4.0 },
+        );
+        assert!((favg - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn favg_uniform_proportional_matches_mean() {
+        let favg = average_fee(
+            &FeeFunction::Proportional { rate: 0.02 },
+            &TxSizeDistribution::Uniform { max: 6.0 },
+        );
+        assert!((favg - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn favg_uniform_constant_is_the_constant() {
+        let favg = average_fee(
+            &FeeFunction::Constant { fee: 0.7 },
+            &TxSizeDistribution::Uniform { max: 3.0 },
+        );
+        assert!((favg - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn favg_truncated_exp_close_to_monte_carlo() {
+        let fee = FeeFunction::Proportional { rate: 1.0 };
+        let dist = TxSizeDistribution::TruncatedExp { mean: 2.0, max: 10.0 };
+        let analytic = average_fee(&fee, &dist);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let mc: f64 = (0..n).map(|_| fee.fee(dist.sample(&mut rng))).sum::<f64>() / n as f64;
+        assert!(
+            (analytic - mc).abs() < 0.02,
+            "Simpson {analytic} vs Monte Carlo {mc}"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dists = [
+            TxSizeDistribution::Constant { size: 2.0 },
+            TxSizeDistribution::Uniform { max: 5.0 },
+            TxSizeDistribution::TruncatedExp { mean: 1.0, max: 3.0 },
+        ];
+        for d in dists {
+            for _ in 0..1000 {
+                let t = d.sample(&mut rng);
+                assert!(
+                    (0.0..=d.max_size() + 1e-12).contains(&t),
+                    "{t} outside [0, {}] for {d:?}",
+                    d.max_size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        for d in [
+            TxSizeDistribution::Uniform { max: 4.0 },
+            TxSizeDistribution::TruncatedExp { mean: 1.5, max: 4.0 },
+        ] {
+            let favg = average_fee(&FeeFunction::Constant { fee: 1.0 }, &d);
+            assert!((favg - 1.0).abs() < 1e-6, "∫p = {favg} for {d:?}");
+        }
+    }
+
+    #[test]
+    fn defaults_are_usable() {
+        let favg = average_fee(&FeeFunction::default(), &TxSizeDistribution::default());
+        assert!(favg > 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Hashed-timelock-contract (HTLC) state machine for multi-hop payments.
+//!
+//! The paper's footnote 1 notes that HTLCs "ensure that the transactions
+//! on a path will be executed atomically, either all or none, so the
+//! intermediaries do not lose any funds". [`crate::network::Pcn`] applies
+//! payments atomically in one call; this module exposes the underlying
+//! two-phase protocol explicitly — lock along the path, then settle or
+//! fail — so tests and extensions (timeouts, concurrent in-flight
+//! payments, griefing studies) can drive each phase separately.
+//!
+//! While an HTLC is pending, the locked amounts are *reserved*: they are
+//! subtracted from the spendable balance of each hop's forward edge, and
+//! only credited to the reverse edges at settlement. Failing releases the
+//! reservations unchanged — exactly the all-or-none property.
+
+use crate::network::{Pcn, RouteError};
+use lcg_graph::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lifecycle of an in-flight HTLC payment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HtlcState {
+    /// Locks acquired on every hop; awaiting settle/fail.
+    Pending,
+    /// Settled: balances moved, fees credited.
+    Settled,
+    /// Failed: every lock released, state as before `lock`.
+    Failed,
+}
+
+impl fmt::Display for HtlcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HtlcState::Pending => f.write_str("pending"),
+            HtlcState::Settled => f.write_str("settled"),
+            HtlcState::Failed => f.write_str("failed"),
+        }
+    }
+}
+
+/// An in-flight multi-hop payment holding per-hop reservations.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_sim::htlc::Htlc;
+/// use lcg_sim::network::Pcn;
+/// use lcg_sim::fees::FeeFunction;
+/// use lcg_sim::onchain::CostModel;
+///
+/// let mut pcn = Pcn::new(CostModel::new(1.0, 0.0), FeeFunction::Constant { fee: 0.1 });
+/// let a = pcn.add_node();
+/// let b = pcn.add_node();
+/// let c = pcn.add_node();
+/// pcn.open_channel(a, b, 10.0, 10.0);
+/// pcn.open_channel(b, c, 10.0, 10.0);
+/// let path: Vec<_> = [pcn.graph().find_edge(a, b).unwrap(),
+///                     pcn.graph().find_edge(b, c).unwrap()].to_vec();
+/// let htlc = Htlc::lock(&mut pcn, &path, 2.0)?;
+/// // While pending, the first hop's spendable balance is reduced.
+/// assert!(pcn.balance(path[0]).unwrap() < 10.0);
+/// htlc.settle(&mut pcn);
+/// # Ok::<(), lcg_sim::network::RouteError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Htlc {
+    path: Vec<EdgeId>,
+    amounts: Vec<f64>,
+    amount: f64,
+    total_fees: f64,
+    state: HtlcState,
+}
+
+impl Htlc {
+    /// Phase 1: reserve `amount` plus downstream fees on every hop of
+    /// `path`. On success the HTLC is [`HtlcState::Pending`] and the
+    /// reserved value is deducted from each forward edge's spendable
+    /// balance.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NoPath`] for an empty path;
+    /// [`RouteError::InvalidAmount`] for non-positive amounts;
+    /// [`RouteError::InsufficientCapacity`] when some hop cannot cover
+    /// its reservation — in which case **no** reservation is held.
+    pub fn lock(pcn: &mut Pcn, path: &[EdgeId], amount: f64) -> Result<Htlc, RouteError> {
+        if path.is_empty() {
+            return Err(RouteError::NoPath);
+        }
+        if !(amount > 0.0) || amount.is_infinite() {
+            return Err(RouteError::InvalidAmount { amount });
+        }
+        let (amounts, total_fees) = pcn.hop_amounts(path, amount);
+        // Validate all hops first (no partial reservations).
+        for (e, need) in path.iter().zip(&amounts) {
+            let available = pcn.balance(*e).ok_or(RouteError::NoPath)?;
+            if *need > available + 1e-9 {
+                return Err(RouteError::InsufficientCapacity {
+                    edge: *e,
+                    needed: *need,
+                    available,
+                });
+            }
+        }
+        for (e, need) in path.iter().zip(&amounts) {
+            pcn.reserve(*e, *need);
+        }
+        Ok(Htlc {
+            path: path.to_vec(),
+            amounts,
+            amount,
+            total_fees,
+            state: HtlcState::Pending,
+        })
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HtlcState {
+        self.state
+    }
+
+    /// The locked path.
+    pub fn path(&self) -> &[EdgeId] {
+        &self.path
+    }
+
+    /// End-to-end amount (excluding fees).
+    pub fn amount(&self) -> f64 {
+        self.amount
+    }
+
+    /// Total routing fees the sender committed.
+    pub fn total_fees(&self) -> f64 {
+        self.total_fees
+    }
+
+    /// Phase 2a: settle — credit every hop's reverse edge and the
+    /// intermediaries' fee ledgers. Consumes the HTLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the HTLC is not pending (double settlement is a protocol
+    /// violation, not an I/O condition).
+    pub fn settle(mut self, pcn: &mut Pcn) {
+        assert_eq!(self.state, HtlcState::Pending, "settle on {} HTLC", self.state);
+        pcn.commit_reservations(&self.path, &self.amounts, self.amount, self.total_fees);
+        self.state = HtlcState::Settled;
+    }
+
+    /// Phase 2b: fail — release every reservation; balances return to the
+    /// pre-lock state. Consumes the HTLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the HTLC is not pending.
+    pub fn fail(mut self, pcn: &mut Pcn) {
+        assert_eq!(self.state, HtlcState::Pending, "fail on {} HTLC", self.state);
+        for (e, need) in self.path.iter().zip(&self.amounts) {
+            pcn.release(*e, *need);
+        }
+        self.state = HtlcState::Failed;
+    }
+
+    /// Sender of the payment (tail of the first hop).
+    pub fn sender(&self, pcn: &Pcn) -> Option<NodeId> {
+        pcn.graph().edge_endpoints(*self.path.first()?).map(|(s, _)| s)
+    }
+
+    /// Receiver of the payment (head of the last hop).
+    pub fn receiver(&self, pcn: &Pcn) -> Option<NodeId> {
+        pcn.graph().edge_endpoints(*self.path.last()?).map(|(_, d)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fees::FeeFunction;
+    use crate::onchain::CostModel;
+
+    fn line3(fee: f64) -> (Pcn, Vec<EdgeId>) {
+        let mut pcn = Pcn::new(CostModel::new(1.0, 0.0), FeeFunction::Constant { fee });
+        let ns: Vec<NodeId> = (0..3).map(|_| pcn.add_node()).collect();
+        pcn.open_channel(ns[0], ns[1], 10.0, 10.0);
+        pcn.open_channel(ns[1], ns[2], 10.0, 10.0);
+        let path = vec![
+            pcn.graph().find_edge(ns[0], ns[1]).unwrap(),
+            pcn.graph().find_edge(ns[1], ns[2]).unwrap(),
+        ];
+        (pcn, path)
+    }
+
+    #[test]
+    fn lock_reserves_and_settle_moves() {
+        let (mut pcn, path) = line3(0.5);
+        let htlc = Htlc::lock(&mut pcn, &path, 2.0).unwrap();
+        assert_eq!(htlc.state(), HtlcState::Pending);
+        // First hop reserves amount + 1 fee = 2.5.
+        assert!((pcn.balance(path[0]).unwrap() - 7.5).abs() < 1e-12);
+        assert!((pcn.balance(path[1]).unwrap() - 8.0).abs() < 1e-12);
+        let rev0 = pcn.reverse_edge(path[0]).unwrap();
+        // Reverse side not yet credited while pending.
+        assert!((pcn.balance(rev0).unwrap() - 10.0).abs() < 1e-12);
+        htlc.settle(&mut pcn);
+        assert!((pcn.balance(rev0).unwrap() - 12.5).abs() < 1e-12);
+        assert!((pcn.fees_earned(NodeId(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fail_restores_exact_state() {
+        let (mut pcn, path) = line3(0.5);
+        let before: Vec<f64> = pcn
+            .graph()
+            .edge_ids()
+            .map(|e| pcn.balance(e).unwrap())
+            .collect();
+        let htlc = Htlc::lock(&mut pcn, &path, 3.0).unwrap();
+        htlc.fail(&mut pcn);
+        let after: Vec<f64> = pcn
+            .graph()
+            .edge_ids()
+            .map(|e| pcn.balance(e).unwrap())
+            .collect();
+        assert_eq!(before, after);
+        assert_eq!(pcn.fees_earned(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn concurrent_htlcs_respect_reservations() {
+        let (mut pcn, path) = line3(0.0);
+        let h1 = Htlc::lock(&mut pcn, &path, 6.0).unwrap();
+        // 6 reserved: only 4 left; a second lock of 5 must fail cleanly.
+        let err = Htlc::lock(&mut pcn, &path, 5.0).unwrap_err();
+        assert!(matches!(err, RouteError::InsufficientCapacity { .. }));
+        // But 4 still fits.
+        let h2 = Htlc::lock(&mut pcn, &path, 4.0).unwrap();
+        h1.settle(&mut pcn);
+        h2.settle(&mut pcn);
+        assert!(pcn.balance(path[0]).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_lock_holds_nothing() {
+        let (mut pcn, path) = line3(0.0);
+        // Second hop cannot carry 11.
+        let err = Htlc::lock(&mut pcn, &path, 11.0).unwrap_err();
+        assert!(matches!(err, RouteError::InsufficientCapacity { .. }));
+        for e in &path {
+            assert!((pcn.balance(*e).unwrap() - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sender_and_receiver_resolution() {
+        let (mut pcn, path) = line3(0.0);
+        let htlc = Htlc::lock(&mut pcn, &path, 1.0).unwrap();
+        assert_eq!(htlc.sender(&pcn), Some(NodeId(0)));
+        assert_eq!(htlc.receiver(&pcn), Some(NodeId(2)));
+        assert_eq!(htlc.amount(), 1.0);
+        htlc.fail(&mut pcn);
+    }
+
+    #[test]
+    fn empty_path_and_bad_amounts_rejected() {
+        let (mut pcn, path) = line3(0.0);
+        assert_eq!(Htlc::lock(&mut pcn, &[], 1.0), Err(RouteError::NoPath));
+        assert!(matches!(
+            Htlc::lock(&mut pcn, &path, 0.0),
+            Err(RouteError::InvalidAmount { .. })
+        ));
+        assert!(matches!(
+            Htlc::lock(&mut pcn, &path, -2.0),
+            Err(RouteError::InvalidAmount { .. })
+        ));
+    }
+
+    #[test]
+    fn settlement_equals_direct_payment() {
+        // Lock+settle must produce the same final state as the one-shot
+        // execute_on_path.
+        let (mut via_htlc, path) = line3(0.5);
+        let (mut direct, _) = line3(0.5);
+        Htlc::lock(&mut via_htlc, &path, 2.0).unwrap().settle(&mut via_htlc);
+        direct.execute_on_path(&path, 2.0).unwrap();
+        for e in via_htlc.graph().edge_ids() {
+            assert!(
+                (via_htlc.balance(e).unwrap() - direct.balance(e).unwrap()).abs() < 1e-9,
+                "balance mismatch on {e}"
+            );
+        }
+        assert_eq!(via_htlc.fees_earned(NodeId(1)), direct.fees_earned(NodeId(1)));
+        assert_eq!(via_htlc.fees_spent(NodeId(0)), direct.fees_spent(NodeId(0)));
+    }
+}

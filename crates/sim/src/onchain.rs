@@ -1,0 +1,231 @@
+//! On-chain cost model (paper §II-C, "Channel costs").
+//!
+//! Opening and closing a channel each require one blockchain transaction
+//! costing the miner fee `C`. The opening cost is split equally (`C/2`
+//! each). The closing cost depends on how the channel closes; the paper
+//! assumes the three closing modes are equiprobable, which makes the
+//! *expected* closing cost `C/2` per party, hence a total expected channel
+//! cost of `C` per party.
+//!
+//! On top of the miner fees the paper charges an *opportunity cost* for the
+//! capital locked in the channel, `l_u = r · c_u` with a constant
+//! opportunity rate `r` ("a standard economic assumption due to the
+//! non-specialized nature of the underlying coins"). The total per-party
+//! cost of a channel is `L_u(v, l) = C + l_u`.
+
+use serde::{Deserialize, Serialize};
+
+/// How a channel was (or is expected to be) closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CloseMode {
+    /// Party `u` posts the closing transaction unilaterally and pays `C`.
+    UnilateralByA,
+    /// Party `v` posts the closing transaction unilaterally and pays `C`.
+    UnilateralByB,
+    /// Both parties sign a cooperative close and split `C`.
+    Collaborative,
+}
+
+impl CloseMode {
+    /// All three modes, in the order used for the equiprobability argument.
+    pub const ALL: [CloseMode; 3] = [
+        CloseMode::UnilateralByA,
+        CloseMode::UnilateralByB,
+        CloseMode::Collaborative,
+    ];
+
+    /// Closing cost borne by party `A` under this mode, given miner fee `c`.
+    pub fn cost_to_a(self, c: f64) -> f64 {
+        match self {
+            CloseMode::UnilateralByA => c,
+            CloseMode::UnilateralByB => 0.0,
+            CloseMode::Collaborative => c / 2.0,
+        }
+    }
+
+    /// Closing cost borne by party `B` under this mode, given miner fee `c`.
+    pub fn cost_to_b(self, c: f64) -> f64 {
+        match self {
+            CloseMode::UnilateralByA => 0.0,
+            CloseMode::UnilateralByB => c,
+            CloseMode::Collaborative => c / 2.0,
+        }
+    }
+}
+
+/// The paper's channel-cost parameters: miner fee `C` and opportunity rate
+/// `r`.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_sim::onchain::CostModel;
+///
+/// let m = CostModel::new(2.0, 0.05);
+/// // Expected per-party channel cost for locking 10 coins: C + r*10.
+/// assert_eq!(m.channel_cost(10.0), 2.0 + 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Miner fee `C` for a single on-chain transaction.
+    pub onchain_fee: f64,
+    /// Opportunity-cost rate `r`: locking `c` coins for the channel's
+    /// lifetime costs `r · c`.
+    pub opportunity_rate: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is negative or NaN.
+    pub fn new(onchain_fee: f64, opportunity_rate: f64) -> Self {
+        assert!(
+            onchain_fee >= 0.0 && !onchain_fee.is_nan(),
+            "on-chain fee must be non-negative, got {onchain_fee}"
+        );
+        assert!(
+            opportunity_rate >= 0.0 && !opportunity_rate.is_nan(),
+            "opportunity rate must be non-negative, got {opportunity_rate}"
+        );
+        CostModel {
+            onchain_fee,
+            opportunity_rate,
+        }
+    }
+
+    /// A model with zero opportunity cost — the simplification used by the
+    /// prior work \[19\] that the paper extends; kept for ablations.
+    pub fn without_opportunity_cost(onchain_fee: f64) -> Self {
+        CostModel::new(onchain_fee, 0.0)
+    }
+
+    /// Per-party share of the opening transaction (`C/2`).
+    pub fn opening_share(&self) -> f64 {
+        self.onchain_fee / 2.0
+    }
+
+    /// Expected per-party share of the closing transaction under
+    /// equiprobable closing modes: `(C + 0 + C/2)/3 = C/2`.
+    pub fn expected_closing_share(&self) -> f64 {
+        CloseMode::ALL
+            .iter()
+            .map(|m| m.cost_to_a(self.onchain_fee))
+            .sum::<f64>()
+            / CloseMode::ALL.len() as f64
+    }
+
+    /// Expected total miner-fee cost per party over a channel's lifetime:
+    /// `C/2 (open) + C/2 (expected close) = C`.
+    pub fn expected_miner_cost(&self) -> f64 {
+        self.opening_share() + self.expected_closing_share()
+    }
+
+    /// Opportunity cost of locking `locked` coins: `l = r · locked`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locked` is negative or NaN.
+    pub fn opportunity_cost(&self, locked: f64) -> f64 {
+        assert!(
+            locked >= 0.0 && !locked.is_nan(),
+            "locked capital must be non-negative, got {locked}"
+        );
+        self.opportunity_rate * locked
+    }
+
+    /// Total expected per-party channel cost `L_u(v, l) = C + l_u` for a
+    /// party locking `locked` coins (§II-C).
+    pub fn channel_cost(&self, locked: f64) -> f64 {
+        self.expected_miner_cost() + self.opportunity_cost(locked)
+    }
+
+    /// Total on-chain cost of transacting *entirely on the blockchain* for
+    /// a stream of `n_tx` outgoing transactions: `C_u = N_u · C / 2`
+    /// (sender's share of one on-chain transaction each). This constant
+    /// shifts the utility into the paper's *benefit function* `U^b`
+    /// (§III-D).
+    pub fn all_onchain_cost(&self, n_tx: f64) -> f64 {
+        n_tx * self.onchain_fee / 2.0
+    }
+}
+
+impl Default for CostModel {
+    /// Unit miner fee, 1% opportunity rate — the defaults used in the
+    /// experiments unless a sweep overrides them.
+    fn default() -> Self {
+        CostModel::new(1.0, 0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_closing_share_is_half_fee() {
+        let m = CostModel::new(3.0, 0.0);
+        assert!((m.expected_closing_share() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_miner_cost_is_full_fee() {
+        // §II-C: "in total, the channel cost for each party is C".
+        let m = CostModel::new(2.4, 0.0);
+        assert!((m.expected_miner_cost() - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_modes_are_symmetric_and_total_c() {
+        let c = 5.0;
+        for mode in CloseMode::ALL {
+            let total = mode.cost_to_a(c) + mode.cost_to_b(c);
+            match mode {
+                CloseMode::Collaborative => assert!((total - c).abs() < 1e-12),
+                _ => assert!((total - c).abs() < 1e-12),
+            }
+        }
+        assert_eq!(CloseMode::UnilateralByA.cost_to_b(c), 0.0);
+        assert_eq!(CloseMode::UnilateralByB.cost_to_a(c), 0.0);
+    }
+
+    #[test]
+    fn channel_cost_combines_miner_and_opportunity() {
+        let m = CostModel::new(1.0, 0.1);
+        assert!((m.channel_cost(20.0) - (1.0 + 2.0)).abs() < 1e-12);
+        assert!((m.channel_cost(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_opportunity_variant_matches_prior_work() {
+        let m = CostModel::without_opportunity_cost(2.0);
+        assert_eq!(m.opportunity_cost(1000.0), 0.0);
+        assert!((m.channel_cost(1000.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_onchain_cost_is_half_fee_per_tx() {
+        let m = CostModel::new(2.0, 0.0);
+        assert!((m.all_onchain_cost(9.0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_fee_panics() {
+        CostModel::new(-0.1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_locked_capital_panics() {
+        CostModel::default().opportunity_cost(-5.0);
+    }
+
+    #[test]
+    fn default_model_is_sane() {
+        let m = CostModel::default();
+        assert!(m.onchain_fee > 0.0);
+        assert!(m.opportunity_rate > 0.0);
+    }
+}

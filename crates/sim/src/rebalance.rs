@@ -1,0 +1,184 @@
+//! Off-chain channel rebalancing (extension; the paper cites this line of
+//! work as \[30\], "Hide & Seek: privacy-preserving rebalancing").
+//!
+//! A node whose outbound balance on some channel is depleted can restore
+//! it *without touching the chain* by routing a payment to itself around
+//! a cycle: each channel on the cycle shifts value from the depleted
+//! direction's surplus side. This module finds candidate rebalancing
+//! cycles and executes them atomically with the HTLC machinery, and is
+//! used by the depletion studies to quantify how much throughput
+//! rebalancing buys back.
+
+use crate::htlc::Htlc;
+use crate::network::{Pcn, RouteError};
+use lcg_graph::dijkstra::dijkstra;
+use lcg_graph::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a rebalancing attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceReport {
+    /// The full cycle executed (starts and ends at the initiator).
+    pub cycle: Vec<EdgeId>,
+    /// Value shifted around the cycle.
+    pub amount: f64,
+    /// Fees the initiator paid to the cycle's intermediaries.
+    pub fees: f64,
+}
+
+/// Finds the cheapest rebalancing cycle that refills the directed channel
+/// `target` (owned by its source) with `amount`, if one exists.
+///
+/// The cycle is `src(target) → … → dst-side` path computed on the
+/// capacity-reduced graph *excluding both directions of the target
+/// channel* (the refill must come from elsewhere), followed by the
+/// reverse-direction edge of `target` itself: pushing `amount` along it
+/// moves `amount` onto the depleted side.
+pub fn find_rebalancing_cycle(pcn: &Pcn, target: EdgeId, amount: f64) -> Option<Vec<EdgeId>> {
+    let (src, dst) = pcn.graph().edge_endpoints(target)?;
+    let reverse = pcn.reverse_edge(target)?;
+    // The reverse edge must itself be able to carry the refill.
+    if pcn.balance(reverse)? + 1e-9 < amount {
+        return None;
+    }
+    // Cheapest src → dst route avoiding the target channel, with enough
+    // balance for `amount` plus worst-case fees (validated again at lock).
+    let fee = pcn.fee_function().fee(amount);
+    let tree = dijkstra(pcn.graph(), src, |e, eb| {
+        if e == target || e == reverse {
+            return None;
+        }
+        (eb.balance + 1e-9 >= amount).then_some(1.0 + fee)
+    });
+    let mut cycle = tree.path_to(pcn.graph(), dst)?;
+    if cycle.is_empty() {
+        return None; // src == dst cannot happen for a channel, but be safe
+    }
+    cycle.push(reverse);
+    Some(cycle)
+}
+
+/// Executes a rebalancing self-payment of `amount` around the cheapest
+/// cycle refilling `target`.
+///
+/// # Errors
+///
+/// [`RouteError::NoPath`] when no cycle with sufficient capacity exists;
+/// capacity errors if balances changed between discovery and locking.
+pub fn rebalance(pcn: &mut Pcn, target: EdgeId, amount: f64) -> Result<RebalanceReport, RouteError> {
+    let cycle = find_rebalancing_cycle(pcn, target, amount).ok_or(RouteError::NoPath)?;
+    let htlc = Htlc::lock(pcn, &cycle, amount)?;
+    let fees = htlc.total_fees();
+    htlc.settle(pcn);
+    Ok(RebalanceReport {
+        cycle,
+        amount,
+        fees,
+    })
+}
+
+/// Depleted directed channels of `node`: edges whose spendable balance is
+/// below `threshold`, sorted most-depleted first.
+pub fn depleted_channels(pcn: &Pcn, node: NodeId, threshold: f64) -> Vec<EdgeId> {
+    let mut out: Vec<(f64, EdgeId)> = pcn
+        .graph()
+        .out_edges(node)
+        .filter_map(|e| {
+            let b = pcn.balance(e)?;
+            (b < threshold).then_some((b, e))
+        })
+        .collect();
+    out.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite balances"));
+    out.into_iter().map(|(_, e)| e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fees::FeeFunction;
+    use crate::onchain::CostModel;
+
+    /// Triangle a-b-c with a's a→b direction depleted.
+    fn depleted_triangle(fee: f64) -> (Pcn, Vec<NodeId>, EdgeId) {
+        let mut pcn = Pcn::new(CostModel::new(1.0, 0.0), FeeFunction::Constant { fee });
+        let ns: Vec<NodeId> = (0..3).map(|_| pcn.add_node()).collect();
+        pcn.open_channel(ns[0], ns[1], 0.0, 10.0); // a→b depleted
+        pcn.open_channel(ns[1], ns[2], 10.0, 10.0);
+        pcn.open_channel(ns[2], ns[0], 10.0, 10.0);
+        let target = pcn.graph().find_edge(ns[0], ns[1]).unwrap();
+        (pcn, ns, target)
+    }
+
+    #[test]
+    fn finds_and_executes_triangle_cycle() {
+        let (mut pcn, ns, target) = depleted_triangle(0.0);
+        assert_eq!(pcn.balance(target), Some(0.0));
+        let report = rebalance(&mut pcn, target, 4.0).unwrap();
+        // a pushed 4 along a→c→b and received it back on the b→a side:
+        // the a→b direction now owns 4.
+        assert!((pcn.balance(target).unwrap() - 4.0).abs() < 1e-9);
+        assert_eq!(report.amount, 4.0);
+        assert_eq!(report.cycle.len(), 3);
+        // Total network value unchanged (3 channels: 0+10, 10+10, 10+10).
+        let total: f64 = pcn.graph().edge_ids().map(|e| pcn.balance(e).unwrap()).sum();
+        assert!((total - 50.0).abs() < 1e-9, "total {total}");
+        // a's other outbound direction paid for it.
+        let a_to_c = pcn.graph().find_edge(ns[0], ns[2]).unwrap();
+        assert!(pcn.balance(a_to_c).unwrap() < 10.0);
+    }
+
+    #[test]
+    fn rebalancing_pays_cycle_fees() {
+        let (mut pcn, ns, target) = depleted_triangle(0.25);
+        let report = rebalance(&mut pcn, target, 2.0).unwrap();
+        // Two intermediaries on the cycle (c and b): 0.5 total fees.
+        assert!((report.fees - 0.5).abs() < 1e-9);
+        assert!((pcn.fees_spent(ns[0]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_cycle_when_counter_balance_missing() {
+        let mut pcn = Pcn::new(CostModel::default(), FeeFunction::Constant { fee: 0.0 });
+        let ns: Vec<NodeId> = (0..3).map(|_| pcn.add_node()).collect();
+        // b has nothing on its b→a side: the refill cannot come from b.
+        pcn.open_channel(ns[0], ns[1], 0.0, 0.5);
+        pcn.open_channel(ns[1], ns[2], 10.0, 10.0);
+        pcn.open_channel(ns[2], ns[0], 10.0, 10.0);
+        let target = pcn.graph().find_edge(ns[0], ns[1]).unwrap();
+        assert_eq!(rebalance(&mut pcn, target, 4.0), Err(RouteError::NoPath));
+    }
+
+    #[test]
+    fn no_cycle_without_alternative_route() {
+        // Two nodes only: the single channel cannot rebalance itself.
+        let mut pcn = Pcn::new(CostModel::default(), FeeFunction::Constant { fee: 0.0 });
+        let a = pcn.add_node();
+        let b = pcn.add_node();
+        pcn.open_channel(a, b, 0.0, 10.0);
+        let target = pcn.graph().find_edge(a, b).unwrap();
+        assert!(find_rebalancing_cycle(&pcn, target, 1.0).is_none());
+    }
+
+    #[test]
+    fn depleted_channels_sorted_by_balance() {
+        let (mut pcn, ns, _) = depleted_triangle(0.0);
+        // Deplete a→c partially too.
+        let a_to_c = pcn.graph().find_edge(ns[0], ns[2]).unwrap();
+        pcn.reserve(a_to_c, 9.0);
+        let depleted = depleted_channels(&pcn, ns[0], 5.0);
+        assert_eq!(depleted.len(), 2);
+        assert_eq!(pcn.balance(depleted[0]), Some(0.0));
+        assert_eq!(pcn.balance(depleted[1]), Some(1.0));
+    }
+
+    #[test]
+    fn rebalancing_restores_routing_ability() {
+        let (mut pcn, ns, target) = depleted_triangle(0.0);
+        // Direct a→b payment impossible on the depleted channel; routing
+        // falls back to a→c→b. After rebalancing, a 3-coin direct payment
+        // works on the short path again.
+        rebalance(&mut pcn, target, 5.0).unwrap();
+        let receipt = pcn.pay(ns[0], ns[1], 3.0).unwrap();
+        assert_eq!(receipt.path.len(), 1, "direct channel usable again");
+    }
+}

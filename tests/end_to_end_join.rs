@@ -1,0 +1,182 @@
+//! Cross-crate integration: the full joining pipeline.
+//!
+//! graph generators → transaction model → utility oracle → all three
+//! optimization algorithms → simulator validation, exercised through the
+//! public facade exactly as a downstream user would.
+
+use lightning_creation_games::core::bruteforce::{optimal_discrete, optimal_fixed_lock};
+use lightning_creation_games::core::continuous::{continuous_local_search, ContinuousConfig};
+use lightning_creation_games::core::exhaustive::{exhaustive_search, ExhaustiveConfig};
+use lightning_creation_games::core::greedy::greedy_fixed_lock;
+use lightning_creation_games::core::utility::{Objective, RevenueMode, UtilityOracle, UtilityParams};
+use lightning_creation_games::core::TransactionModel;
+use lightning_creation_games::graph::generators;
+use lightning_creation_games::sim::engine::simulate;
+use lightning_creation_games::sim::fees::{FeeFunction, TxSizeDistribution};
+use lightning_creation_games::sim::network::Pcn;
+use lightning_creation_games::sim::onchain::CostModel;
+use lightning_creation_games::sim::workload::WorkloadBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn standard_oracle(seed: u64, n: usize) -> UtilityOracle {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let host = generators::barabasi_albert(n, 2, &mut rng);
+    let bound = host.node_bound();
+    UtilityOracle::new(host, vec![1.0; bound], UtilityParams::default())
+}
+
+#[test]
+fn greedy_output_is_budget_feasible_and_finite() {
+    let oracle = standard_oracle(1, 20);
+    let budget = 9.0;
+    let result = greedy_fixed_lock(&oracle, budget, 2.0);
+    assert!(!result.strategy.is_empty());
+    assert!(result
+        .strategy
+        .is_within_budget(oracle.params().cost.onchain_fee, budget));
+    assert!(result.simplified_utility.is_finite());
+    for action in result.strategy.iter() {
+        assert!(oracle.host().contains_node(action.target));
+    }
+}
+
+#[test]
+fn all_three_algorithms_agree_on_obvious_instances() {
+    // On a star with one clear winner (the hub), every optimizer should
+    // include the hub in its strategy.
+    let host = generators::star(6);
+    let n = host.node_bound();
+    let params = UtilityParams {
+        min_usable_lock: 1.0,
+        ..UtilityParams::default()
+    };
+    let oracle = UtilityOracle::new(host, vec![1.0; n], params);
+    let hub = lightning_creation_games::graph::NodeId(0);
+
+    let g = greedy_fixed_lock(&oracle, 4.0, 1.0);
+    assert!(g.strategy.targets().contains(&hub), "greedy skipped the hub");
+
+    let e = exhaustive_search(
+        &oracle,
+        ExhaustiveConfig {
+            budget: 4.0,
+            granularity: 1.0,
+            max_divisions: None,
+        },
+    );
+    assert!(e.strategy.targets().contains(&hub), "exhaustive skipped the hub");
+
+    let c = continuous_local_search(&oracle, &ContinuousConfig::with_budget(4.0));
+    assert!(c.strategy.targets().contains(&hub), "continuous skipped the hub");
+}
+
+#[test]
+fn algorithm_value_ordering_is_consistent() {
+    // OPT(discrete) >= Alg2 >= ... and OPT(fixed) >= Alg1, on U' with the
+    // provable fixed-rate revenue mode.
+    let mut rng = StdRng::seed_from_u64(3);
+    let host = generators::barabasi_albert(9, 2, &mut rng);
+    let n = host.node_bound();
+    let params = UtilityParams {
+        revenue_mode: RevenueMode::FixedPerChannel,
+        ..UtilityParams::default()
+    };
+    let oracle = UtilityOracle::new(host, vec![1.0; n], params);
+    let budget = 6.0;
+
+    let alg1 = greedy_fixed_lock(&oracle, budget, 1.0);
+    let opt_fixed = optimal_fixed_lock(&oracle, budget, 1.0, Objective::Simplified);
+    assert!(alg1.simplified_utility <= opt_fixed.value + 1e-9);
+
+    let alg2 = exhaustive_search(
+        &oracle,
+        ExhaustiveConfig {
+            budget,
+            granularity: 1.0,
+            max_divisions: None,
+        },
+    );
+    let opt_discrete = optimal_discrete(&oracle, budget, 1.0, Objective::Simplified);
+    assert!(alg2.simplified_utility <= opt_discrete.value + 1e-9);
+    assert!(opt_discrete.value >= opt_fixed.value - 1e-9);
+    // Thm 4/5 floors.
+    let floor = 1.0 - (1.0f64).exp().recip();
+    if opt_fixed.value > 0.0 {
+        assert!(alg1.simplified_utility >= floor * opt_fixed.value - 1e-9);
+    }
+    if opt_discrete.value > 0.0 {
+        assert!(alg2.simplified_utility >= floor * opt_discrete.value - 1e-9);
+    }
+}
+
+#[test]
+fn predicted_revenue_matches_simulation_after_joining() {
+    // Join with greedy, rebuild the augmented network in the simulator,
+    // replay the model's own workload, compare revenue rates.
+    let mut rng = StdRng::seed_from_u64(11);
+    let host = generators::barabasi_albert(14, 2, &mut rng);
+    let n = host.node_bound();
+    let oracle = UtilityOracle::new(host.clone(), vec![1.0; n], UtilityParams::default());
+    let result = greedy_fixed_lock(&oracle, 6.0, 1.0);
+
+    let mut joined = host.clone();
+    let u = joined.add_node(());
+    for a in result.strategy.iter() {
+        joined.add_undirected(u, a.target, ());
+    }
+    // Recompute the model on the joined graph (degrees changed) — the
+    // simulator must agree with *that* model's predictions.
+    let model = TransactionModel::zipf(
+        &joined,
+        1.0,
+        lightning_creation_games::core::zipf::ZipfVariant::Averaged,
+        vec![1.0; joined.node_bound()],
+    );
+    let predicted = model.revenue_rates(&joined, 0.1);
+
+    let mut pcn = Pcn::from_topology(
+        &joined,
+        1e9,
+        CostModel::new(1.0, 0.0),
+        FeeFunction::Constant { fee: 0.1 },
+    );
+    let txs = WorkloadBuilder::new(model.to_pair_weights())
+        .sender_rates(model.sender_rates())
+        .sizes(TxSizeDistribution::Constant { size: 1.0 })
+        .generate(60_000, &mut rng);
+    let report = simulate(&mut pcn, &txs, &mut rng);
+    assert!(report.success_rate() > 0.999, "no depletion expected");
+
+    // Compare at the network's top three predicted earners (enough traffic
+    // for stable estimates).
+    let mut nodes: Vec<_> = joined.node_ids().collect();
+    nodes.sort_by(|&x, &y| {
+        predicted[y.index()]
+            .partial_cmp(&predicted[x.index()])
+            .unwrap()
+    });
+    for &v in nodes.iter().take(3) {
+        let pred = predicted[v.index()];
+        if pred < 1e-6 {
+            continue;
+        }
+        let obs = report.revenue_rate(v);
+        let rel = ((obs - pred) / pred).abs();
+        assert!(
+            rel < 0.15,
+            "node {v}: predicted {pred:.4}, observed {obs:.4} (rel err {rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn oracle_counts_evaluations_across_algorithms() {
+    let oracle = standard_oracle(5, 10);
+    oracle.reset_evaluation_count();
+    let _ = greedy_fixed_lock(&oracle, 4.0, 1.0);
+    let after_greedy = oracle.evaluation_count();
+    assert!(after_greedy > 0);
+    let _ = continuous_local_search(&oracle, &ContinuousConfig::with_budget(4.0));
+    assert!(oracle.evaluation_count() > after_greedy);
+}

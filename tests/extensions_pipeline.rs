@@ -1,0 +1,163 @@
+//! Cross-crate integration for the extension modules: synthetic
+//! snapshots, parameter estimation, rebalancing and pairwise stability,
+//! exercised through the public facade.
+
+use lightning_creation_games::core::estimation::{estimate_volumes, estimate_zipf_s};
+use lightning_creation_games::core::greedy::greedy_fixed_lock;
+use lightning_creation_games::core::utility::{UtilityOracle, UtilityParams};
+use lightning_creation_games::core::zipf::ZipfVariant;
+use lightning_creation_games::core::TransactionModel;
+use lightning_creation_games::equilibria::game::{Game, GameParams};
+use lightning_creation_games::equilibria::nash::check_equilibrium;
+use lightning_creation_games::equilibria::pairwise::check_pairwise_stability;
+use lightning_creation_games::equilibria::welfare::social_welfare;
+use lightning_creation_games::graph::metrics;
+use lightning_creation_games::sim::fees::TxSizeDistribution;
+use lightning_creation_games::sim::rebalance;
+use lightning_creation_games::sim::snapshot::{self, SnapshotConfig};
+use lightning_creation_games::sim::workload::WorkloadBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn join_a_synthetic_snapshot() {
+    // The practitioner pipeline: generate a snapshot, strip it down to a
+    // topology, decide where to join, sanity-check the outcome.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let pcn = snapshot::generate(
+        &SnapshotConfig {
+            nodes: 30,
+            ..SnapshotConfig::default()
+        },
+        &mut rng,
+    );
+    let host = pcn.graph().map_edges(|_, _| ());
+    let summary = metrics::summarize(&host);
+    assert_eq!(summary.nodes, 30);
+    assert!(summary.max_degree >= 4, "snapshot should have hubs");
+
+    let n = host.node_bound();
+    let oracle = UtilityOracle::new(host.clone(), vec![1.0; n], UtilityParams::default());
+    let join = greedy_fixed_lock(&oracle, 8.0, 2.0);
+    assert!(!join.strategy.is_empty());
+    // The chosen targets skew toward well-connected nodes.
+    let mean_target_degree: f64 = join
+        .strategy
+        .targets()
+        .iter()
+        .map(|&t| host.in_degree(t) as f64)
+        .sum::<f64>()
+        / join.strategy.len() as f64;
+    assert!(
+        mean_target_degree >= metrics::mean_degree(&host),
+        "greedy should prefer above-average-degree targets"
+    );
+}
+
+#[test]
+fn estimation_closes_the_loop_on_snapshot_traffic() {
+    // Generate Zipf traffic on a snapshot topology, estimate s and the
+    // volumes back, and feed the estimates into the oracle: the estimated
+    // model must rank the same best single channel as the true model.
+    let mut rng = StdRng::seed_from_u64(7_000);
+    let pcn = snapshot::generate(
+        &SnapshotConfig {
+            nodes: 16,
+            ..SnapshotConfig::default()
+        },
+        &mut rng,
+    );
+    let host = pcn.graph().map_edges(|_, _| ());
+    let n = host.node_bound();
+    let true_s = 1.0;
+    let model = TransactionModel::zipf(&host, true_s, ZipfVariant::Averaged, vec![1.5; n]);
+    let txs = WorkloadBuilder::new(model.to_pair_weights())
+        .sender_rates(model.sender_rates())
+        .sizes(TxSizeDistribution::Constant { size: 1.0 })
+        .generate(6_000, &mut rng);
+
+    let volumes = estimate_volumes(&txs, n);
+    assert!((volumes.total_rate - 1.5 * n as f64).abs() / (1.5 * n as f64) < 0.1);
+    let (s_hat, _) = estimate_zipf_s(&host, &txs, 4.0);
+    assert!((s_hat - true_s).abs() < 0.4, "estimated s = {s_hat}");
+
+    let true_oracle = UtilityOracle::new(
+        host.clone(),
+        vec![1.5; n],
+        UtilityParams {
+            zipf_s: true_s,
+            ..UtilityParams::default()
+        },
+    );
+    let est_oracle = UtilityOracle::new(
+        host,
+        volumes.sender_rates,
+        UtilityParams {
+            zipf_s: s_hat,
+            ..UtilityParams::default()
+        },
+    );
+    let true_pick = greedy_fixed_lock(&true_oracle, 2.0, 1.0);
+    let est_pick = greedy_fixed_lock(&est_oracle, 2.0, 1.0);
+    assert_eq!(
+        true_pick.strategy.targets(),
+        est_pick.strategy.targets(),
+        "estimated parameters should reproduce the same attachment choice"
+    );
+}
+
+#[test]
+fn rebalancing_recovers_depleted_snapshot_channels() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut pcn = snapshot::generate(
+        &SnapshotConfig {
+            nodes: 12,
+            median_capacity: 10.0,
+            ..SnapshotConfig::default()
+        },
+        &mut rng,
+    );
+    // Drain some channel by routing payments across it, then rebalance.
+    let candidates: Vec<_> = pcn.graph().edge_ids().collect();
+    let mut drained = None;
+    for e in candidates {
+        let b = pcn.balance(e).unwrap();
+        if b > 2.0 {
+            if let Ok(report) = rebalance::rebalance(&mut pcn, e, 1.0) {
+                drained = Some((e, report));
+                break;
+            }
+        }
+    }
+    if let Some((e, report)) = drained {
+        assert!(report.amount > 0.0);
+        assert!(pcn.balance(e).unwrap() > 0.0);
+    }
+    // Whether or not a cycle existed, balances stay non-negative.
+    for e in pcn.graph().edge_ids() {
+        assert!(pcn.balance(e).unwrap() >= -1e-9);
+    }
+}
+
+#[test]
+fn nash_and_pairwise_agree_on_the_biased_star_but_not_the_path() {
+    let params = GameParams {
+        a: 0.2,
+        b: 0.2,
+        link_cost: 1.0,
+        zipf_s: 8.0,
+        ..GameParams::default()
+    };
+    // Star: stable under both concepts.
+    let star = Game::star(5, params);
+    assert!(check_equilibrium(&star).is_equilibrium);
+    assert!(check_pairwise_stability(&star).is_stable);
+    // Path: Nash-unstable (Thm 10's rewiring) yet pairwise-stable at low
+    // traffic, because pairwise deviations cannot rewire.
+    let path = Game::path(5, params);
+    assert!(!check_equilibrium(&path).is_equilibrium);
+    assert!(check_pairwise_stability(&path).is_stable);
+    // Welfare is computable on both.
+    assert!(social_welfare(&star).total.is_finite());
+    assert!(social_welfare(&path).total.is_finite());
+}
