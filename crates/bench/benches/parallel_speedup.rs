@@ -1,0 +1,79 @@
+//! The tentpole bench: parallel vs sequential weighted edge betweenness
+//! on a 500-node Barabási–Albert host — the kernel behind Eq. 2 rate
+//! estimation and every oracle call in Algorithms 1/2.
+//!
+//! Prints both medians plus an explicit `speedup:` line so CI can grep
+//! the claim. The parallel leg forces 8 workers so the threaded code
+//! path is exercised even on small machines; wall-clock gain scales with
+//! `hardware_threads` (on a single-core box the expected speedup is
+//! ~1.0x — the determinism guarantee, not the clock, is what the tests
+//! check there).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcg_graph::betweenness::weighted_edge_betweenness;
+use lcg_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const PARALLEL_WORKERS: usize = 8;
+
+fn ba_host(n: usize) -> generators::Topology {
+    let mut rng = StdRng::seed_from_u64(500);
+    generators::barabasi_albert(n, 2, &mut rng)
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let g = ba_host(500);
+    let weight = |s: lcg_graph::NodeId, r: lcg_graph::NodeId| {
+        1.0 + 0.01 * (s.index() + 2 * r.index()) as f64
+    };
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("bench: hardware_threads = {hw}");
+
+    let mut group = c.benchmark_group("betweenness_500_ba");
+    group.sample_size(10);
+    for (label, threads) in [("sequential", 1usize), ("parallel", PARALLEL_WORKERS)] {
+        lcg_parallel::set_max_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, _| {
+            b.iter(|| weighted_edge_betweenness(&g, weight));
+        });
+        lcg_parallel::set_max_threads(0);
+    }
+    group.finish();
+
+    // Direct head-to-head so the speedup is one grep-able line, plus the
+    // determinism check: both modes must agree to the last bit.
+    let run_with = |threads: usize| {
+        lcg_parallel::set_max_threads(threads);
+        let start = Instant::now();
+        let mut scores = Vec::new();
+        for _ in 0..5 {
+            scores = criterion::black_box(weighted_edge_betweenness(&g, weight));
+        }
+        let elapsed = start.elapsed();
+        lcg_parallel::set_max_threads(0);
+        (elapsed, scores)
+    };
+    let (seq, seq_scores) = run_with(1);
+    let (par, par_scores) = run_with(PARALLEL_WORKERS);
+    assert!(
+        seq_scores
+            .iter()
+            .zip(&par_scores)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "parallel and sequential betweenness disagree"
+    );
+    println!(
+        "speedup: weighted_edge_betweenness on BA(n=500, m=2): sequential {:?} / parallel({} workers) {:?} = {:.2}x on {} hardware thread(s)",
+        seq,
+        PARALLEL_WORKERS,
+        par,
+        seq.as_secs_f64() / par.as_secs_f64(),
+        hw
+    );
+}
+
+criterion_group!(benches, bench_parallel_vs_sequential);
+criterion_main!(benches);

@@ -20,7 +20,13 @@ pub fn run() -> ExperimentReport {
     // --- standalone channel ---
     let mut table = Table::new(["step", "payment u→v", "outcome", "b_u", "b_v"]);
     let mut ch = Channel::new(10.0, 7.0);
-    table.push_row(["open", "-", "-", &fmt_f(ch.balance(Side::A)), &fmt_f(ch.balance(Side::B))]);
+    table.push_row([
+        "open",
+        "-",
+        "-",
+        &fmt_f(ch.balance(Side::A)),
+        &fmt_f(ch.balance(Side::B)),
+    ]);
     let mut checks = Vec::new();
 
     let r1 = ch.pay(Side::A, 5.0);

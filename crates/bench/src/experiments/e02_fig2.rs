@@ -108,10 +108,7 @@ pub fn run() -> ExperimentReport {
                 format!("({}, {})", split_here.0, split_here.1),
                 fmt_f(best_here),
             ]);
-            if best
-                .as_ref()
-                .is_none_or(|&(_, _, _, _, v)| best_here > v)
-            {
+            if best.as_ref().is_none_or(|&(_, _, _, _, v)| best_here > v) {
                 best = Some((t1, split_here.0, t2, split_here.1, best_here));
             }
         }
@@ -123,12 +120,21 @@ pub fn run() -> ExperimentReport {
     report.add_verdict(Verdict::new(
         "optimal targets are {A, D} (paper Fig. 2)",
         (bt1 == A && bt2 == D) || (bt1 == D && bt2 == A),
-        format!("winner {{{}, {}}} value {}", name(bt1), name(bt2), fmt_f(bval)),
+        format!(
+            "winner {{{}, {}}} value {}",
+            name(bt1),
+            name(bt2),
+            fmt_f(bval)
+        ),
     ));
     report.add_verdict(Verdict::new(
         "the paper's split (A:10, D:9) attains the optimum",
         (paper_value - bval).abs() < 1e-9,
-        format!("paper split value {} vs optimum {}", fmt_f(paper_value), fmt_f(bval)),
+        format!(
+            "paper split value {} vs optimum {}",
+            fmt_f(paper_value),
+            fmt_f(bval)
+        ),
     ));
     report.add_verdict(Verdict::new(
         "every optimal allocation gives the D-channel ≥ 9 coins",
@@ -152,10 +158,18 @@ pub fn run() -> ExperimentReport {
     // fee keeps first-hop overhead negligible, per the figure's idealized
     // accounting.
     let sim_fee = 0.01;
-    let mut sim_table = Table::new(["E strategy", "A→D delivered via E", "E fees earned", "E fees paid"]);
+    let mut sim_table = Table::new([
+        "E strategy",
+        "A→D delivered via E",
+        "E fees earned",
+        "E fees paid",
+    ]);
     let mut realized = Vec::new();
     for (label, cap_a, cap_d) in [("A:10, D:9", 10.0, 9.0), ("A:12, D:7", 12.0, 7.0)] {
-        let mut pcn = Pcn::new(CostModel::new(1.0, 0.0), FeeFunction::Constant { fee: sim_fee });
+        let mut pcn = Pcn::new(
+            CostModel::new(1.0, 0.0),
+            FeeFunction::Constant { fee: sim_fee },
+        );
         for _ in 0..5 {
             pcn.add_node();
         }

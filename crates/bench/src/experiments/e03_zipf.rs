@@ -24,7 +24,14 @@ pub fn run() -> ExperimentReport {
     let mut rng = StdRng::seed_from_u64(1003);
 
     // 1. Σ rf vs H^s_n across topologies and s.
-    let mut sum_table = Table::new(["graph", "n", "s", "Σrf (averaged)", "H^s_n", "Σrf (literal)"]);
+    let mut sum_table = Table::new([
+        "graph",
+        "n",
+        "s",
+        "Σrf (averaged)",
+        "H^s_n",
+        "Σrf (literal)",
+    ]);
     let mut sum_ok = true;
     let mut literal_always_larger = true;
     let graphs: Vec<(&str, generators::Topology)> = vec![
@@ -105,7 +112,10 @@ pub fn run() -> ExperimentReport {
         increasing &= p[0] >= prev - 1e-12;
         prev = p[0];
     }
-    report.add_table("concentration on the hub as s grows (star(8), sender = leaf)", conc_table);
+    report.add_table(
+        "concentration on the hub as s grows (star(8), sender = leaf)",
+        conc_table,
+    );
     report.add_verdict(Verdict::new(
         "p(hub) increases with s; s = 0 is uniform (the [19] baseline)",
         increasing

@@ -41,7 +41,9 @@ fn sample_violations<F: Fn(&Strategy) -> f64>(
     for _ in 0..trials {
         let mut pool = candidates.clone();
         pool.shuffle(rng);
-        let k2 = rng.gen_range(2..=(pool.len() - 1).max(2)).min(pool.len() - 1);
+        let k2 = rng
+            .gen_range(2..=(pool.len() - 1).max(2))
+            .min(pool.len() - 1);
         let k1 = rng.gen_range(1..=k2);
         let lock = 1.0;
         let s2: Strategy = pool[..k2].iter().map(|&t| Action::new(t, lock)).collect();
@@ -170,7 +172,10 @@ pub fn run() -> ExperimentReport {
     report.add_verdict(Verdict::new(
         "Thm 3: U can be negative",
         u_big < 0.0,
-        format!("channel costs overwhelm routing gains: U = {}", fmt_f(u_big)),
+        format!(
+            "channel costs overwhelm routing gains: U = {}",
+            fmt_f(u_big)
+        ),
     ));
 
     report

@@ -74,8 +74,8 @@ pub fn run() -> ExperimentReport {
         // Granularities 5.0 → 2.5 → 1.0 → 0.5 are not all nested, but each
         // next one divides into the budget at least as finely; we check the
         // nested pairs (5.0 ⊃ 2.5, 1.0 ⊃ 0.5) explicitly below via values.
-        monotone_in_refinement &= result.simplified_utility >= prev_value - 1e-9
-            || prev_value == f64::NEG_INFINITY;
+        monotone_in_refinement &=
+            result.simplified_utility >= prev_value - 1e-9 || prev_value == f64::NEG_INFINITY;
         prev_value = result.simplified_utility;
         divisions_grow &= result.divisions_explored >= prev_divisions;
         prev_divisions = result.divisions_explored;

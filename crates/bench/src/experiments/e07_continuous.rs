@@ -102,10 +102,7 @@ pub fn run() -> ExperimentReport {
     };
     let oracle = UtilityOracle::new(host, vec![1.0; n], params);
     let result = continuous_local_search(&oracle, &ContinuousConfig::with_budget(6.0));
-    let disciplined = result
-        .strategy
-        .iter()
-        .all(|a| a.lock <= 1.5 + 1e-9);
+    let disciplined = result.strategy.iter().all(|a| a.lock <= 1.5 + 1e-9);
     report.add_verdict(Verdict::new(
         "refined locks sit at the capacity floor (no wasted capital)",
         disciplined && !result.strategy.is_empty(),

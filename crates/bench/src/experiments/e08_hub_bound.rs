@@ -190,7 +190,10 @@ pub fn run() -> ExperimentReport {
         }
     }
 
-    report.add_table("midpoint chord accounting (3 hub leaves, s = 1, a = b = f = 1)", table);
+    report.add_table(
+        "midpoint chord accounting (3 hub leaves, s = 1, a = b = f = 1)",
+        table,
+    );
     report.add_verdict(Verdict::new(
         "the chord's fee saving grows with the path length d",
         saving_grows_with_d,

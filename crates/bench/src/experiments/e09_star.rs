@@ -106,7 +106,9 @@ pub fn run() -> ExperimentReport {
     report.add_verdict(Verdict::new(
         "Thm 8 agreement rate with ground truth (informational)",
         agreements * 10 >= cells * 9,
-        format!("{agreements}/{cells} cells agree exactly (divergences only at s = 0.5 boundary ties)"),
+        format!(
+            "{agreements}/{cells} cells agree exactly (divergences only at s = 0.5 boundary ties)"
+        ),
     ));
 
     report

@@ -17,13 +17,7 @@ use lcg_graph::NodeId;
 pub fn run() -> ExperimentReport {
     let mut report = ExperimentReport::new("E10", "Thm 10 — path graphs are never stable");
 
-    let mut table = Table::new([
-        "n",
-        "s",
-        "stable?",
-        "endpoint deviation",
-        "endpoint gain",
-    ]);
+    let mut table = Table::new(["n", "s", "stable?", "endpoint deviation", "endpoint gain"]);
     let mut never_stable = true;
     let mut endpoint_always_deviates = true;
 
@@ -46,10 +40,7 @@ pub fn run() -> ExperimentReport {
             let mut explored = 0;
             let endpoint_dev = best_deviation(&game, NodeId(0), &mut explored);
             let (desc, gain) = match &endpoint_dev {
-                Some(d) => (
-                    format!("-{:?} +{:?}", d.remove, d.add),
-                    fmt_f(d.gain()),
-                ),
+                Some(d) => (format!("-{:?} +{:?}", d.remove, d.add), fmt_f(d.gain())),
                 None => ("none".to_string(), "-".to_string()),
             };
             endpoint_always_deviates &= endpoint_dev.is_some();

@@ -34,9 +34,7 @@ fn params_with(l: f64, s: f64) -> GameParams {
 fn opposite_chord_gain(game: &Game, n: usize) -> f64 {
     let opposite = NodeId(n / 2);
     let before = game.utility(NodeId(0));
-    let after = game
-        .deviate(NodeId(0), &[], &[opposite])
-        .utility(NodeId(0));
+    let after = game.deviate(NodeId(0), &[], &[opposite]).utility(NodeId(0));
     after - before
 }
 
@@ -92,8 +90,7 @@ pub fn run() -> ExperimentReport {
                 table.push_row([
                     fmt_f(l),
                     format!("> {MAX_N}"),
-                    theorem11_threshold(1.0, 1.0, l, 10_000)
-                        .map_or("-".into(), |e| e.to_string()),
+                    theorem11_threshold(1.0, 1.0, l, 10_000).map_or("-".into(), |e| e.to_string()),
                     "-".into(),
                     "-".into(),
                 ]);

@@ -62,17 +62,16 @@ pub fn run() -> ExperimentReport {
     let offset = strategies[0].2 - strategies[1].2;
     let mut hop_table = Table::new(["hop charging", "targets", "U'"]);
     for (hc, targets, u) in &strategies {
-        hop_table.push_row([
-            format!("{hc:?}"),
-            format!("{targets:?}"),
-            fmt_f(*u),
-        ]);
+        hop_table.push_row([format!("{hc:?}"), format!("{targets:?}"), fmt_f(*u)]);
     }
     report.add_table("HopCharging ablation (BA(16,2), budget 6)", hop_table);
     report.add_verdict(Verdict::new(
         "HopCharging shifts U' by the constant N_u·f_out and keeps the selection",
         same_targets && (offset - 0.1).abs() < 1e-6,
-        format!("offset {} (expected 0.1000), same targets: {same_targets}", fmt_f(offset)),
+        format!(
+            "offset {} (expected 0.1000), same targets: {same_targets}",
+            fmt_f(offset)
+        ),
     ));
 
     // --- transaction distribution: uniform [19] vs Zipf ---
@@ -95,7 +94,10 @@ pub fn run() -> ExperimentReport {
             fmt_f(r.simplified_utility),
         ]);
     }
-    report.add_table("transaction-distribution ablation (s = 0 is the [19] baseline)", dist_table);
+    report.add_table(
+        "transaction-distribution ablation (s = 0 is the [19] baseline)",
+        dist_table,
+    );
     report.add_verdict(Verdict::new(
         "degree-ranked Zipf pulls the strategy toward hubs vs uniform",
         degrees[2] >= degrees[0] - 1e-9,
@@ -149,7 +151,12 @@ pub fn run() -> ExperimentReport {
     ));
 
     // --- RevenueMode: surrogate vs exact selection ---
-    let mut mode_table = Table::new(["revenue mode", "targets", "U' (own mode)", "U' re-scored exact"]);
+    let mut mode_table = Table::new([
+        "revenue mode",
+        "targets",
+        "U' (own mode)",
+        "U' re-scored exact",
+    ]);
     let exact_oracle = oracle_with(host.clone(), UtilityParams::default());
     let mut rescored = Vec::new();
     for mode in [RevenueMode::FixedPerChannel, RevenueMode::Intermediary] {
@@ -168,7 +175,10 @@ pub fn run() -> ExperimentReport {
             fmt_f(exact_value),
         ]);
     }
-    report.add_table("RevenueMode ablation (both re-scored under exact revenue)", mode_table);
+    report.add_table(
+        "RevenueMode ablation (both re-scored under exact revenue)",
+        mode_table,
+    );
     report.add_verdict(Verdict::new(
         "the surrogate's selection remains competitive under exact scoring",
         rescored[0] >= rescored[1] - 0.1,

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: the build environment has no crates.io
+//! access, and the workspace only *derives* `Serialize`/`Deserialize`
+//! (nothing in the tree serializes at runtime). The derive macros are
+//! no-ops; the marker traits exist so explicit bounds still compile.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (never invoked at runtime).
+pub trait SerializeMarker {}
+
+/// Marker counterpart of `serde::Deserialize` (never invoked at runtime).
+pub trait DeserializeMarker {}

@@ -69,11 +69,7 @@ pub fn estimate_volumes(txs: &[Tx], node_bound: usize) -> VolumeEstimate {
 /// Each observation contributes `log p_trans(sender, receiver)`; the
 /// per-sender normalizers and rank factors are recomputed per sender
 /// (cached across transactions from the same sender).
-pub fn zipf_log_likelihood<N: Clone, E: Clone>(
-    host: &DiGraph<N, E>,
-    txs: &[Tx],
-    s: f64,
-) -> f64 {
+pub fn zipf_log_likelihood<N: Clone, E: Clone>(host: &DiGraph<N, E>, txs: &[Tx], s: f64) -> f64 {
     let mut cache: Vec<Option<Vec<f64>>> = vec![None; host.node_bound()];
     let mut ll = 0.0;
     for tx in txs {

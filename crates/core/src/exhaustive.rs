@@ -176,13 +176,12 @@ pub fn exhaustive_search(oracle: &UtilityOracle, config: ExhaustiveConfig) -> Ex
     };
     let start_evals = oracle.evaluation_count();
 
-    let mut best: Option<(Strategy, f64, Vec<u64>)> = None;
-    let mut explored = 0u64;
-    for division in WeakCompositions::new(units, k + 1) {
-        if config.max_divisions.is_some_and(|cap| explored >= cap) {
-            break;
-        }
-        explored += 1;
+    // One division → its lock-constrained greedy result (or None when the
+    // division is infeasible). Pure per division, so batches of divisions
+    // fan out across cores; the running best is updated sequentially in
+    // division order with a first-strict-max tie-break, which keeps the
+    // reported optimum identical at any thread count.
+    let run_division = |division: &Vec<u64>| -> Option<(Strategy, f64)> {
         // First k parts are channel locks (in units of m); the last part is
         // left unlocked. Truncate to the budget-feasible prefix.
         let mut locks: Vec<f64> = Vec::with_capacity(k);
@@ -196,7 +195,7 @@ pub fn exhaustive_search(oracle: &UtilityOracle, config: ExhaustiveConfig) -> Ex
             locks.push(lock);
         }
         if locks.is_empty() {
-            continue;
+            return None;
         }
         let GreedyResult {
             strategy,
@@ -204,13 +203,41 @@ pub fn exhaustive_search(oracle: &UtilityOracle, config: ExhaustiveConfig) -> Ex
             ..
         } = greedy_with_locks(oracle, &locks);
         if !strategy.is_within_budget(c, config.budget) {
-            continue;
+            return None;
         }
-        if best
-            .as_ref()
-            .is_none_or(|(_, v, _)| simplified_utility > *v)
-        {
-            best = Some((strategy, simplified_utility, division.clone()));
+        Some((strategy, simplified_utility))
+    };
+
+    // Stream the composition iterator in fixed-size batches so unbounded
+    // division counts never materialize at once. Batch boundaries don't
+    // depend on the thread count, preserving determinism.
+    const DIVISION_BATCH: usize = 128;
+    let mut compositions = WeakCompositions::new(units, k + 1);
+    let mut best: Option<(Strategy, f64, Vec<u64>)> = None;
+    let mut explored = 0u64;
+    loop {
+        let batch_cap = match config.max_divisions {
+            Some(cap) => ((cap - explored) as usize).min(DIVISION_BATCH),
+            None => DIVISION_BATCH,
+        };
+        let batch: Vec<Vec<u64>> = compositions.by_ref().take(batch_cap).collect();
+        if batch.is_empty() {
+            break;
+        }
+        explored += batch.len() as u64;
+        #[cfg(feature = "parallel")]
+        let results = lcg_parallel::par_map(&batch, run_division);
+        #[cfg(not(feature = "parallel"))]
+        let results: Vec<Option<(Strategy, f64)>> = batch.iter().map(run_division).collect();
+        for (division, result) in batch.iter().zip(results) {
+            if let Some((strategy, simplified_utility)) = result {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, v, _)| simplified_utility > *v)
+                {
+                    best = Some((strategy, simplified_utility, division.clone()));
+                }
+            }
         }
     }
 

@@ -77,10 +77,24 @@ pub fn greedy_with_locks(oracle: &UtilityOracle, locks: &[f64]) -> GreedyResult 
     let mut prefix_strategies = vec![current.clone()];
 
     for &lock in locks {
+        // Score every candidate through the oracle — in parallel when the
+        // `parallel` feature is on. The argmax below runs sequentially over
+        // the in-order score vector with a first-strict-max tie-break, so
+        // the selected candidate is identical at any thread count.
+        // `available` stays sorted by node index (see `remove` below), so
+        // ties resolve to the lowest-index candidate — the same canonical
+        // choice the lazy-greedy heap makes.
+        let score = |candidate: &NodeId| {
+            let trial = current.with(Action::new(*candidate, lock));
+            oracle.simplified_utility(&trial)
+        };
+        #[cfg(feature = "parallel")]
+        let values = lcg_parallel::par_map(&available, score);
+        #[cfg(not(feature = "parallel"))]
+        let values: Vec<f64> = available.iter().map(score).collect();
+
         let mut best: Option<(usize, f64)> = None;
-        for (idx, &candidate) in available.iter().enumerate() {
-            let trial = current.with(Action::new(candidate, lock));
-            let value = oracle.simplified_utility(&trial);
+        for (idx, &value) in values.iter().enumerate() {
             if best.is_none_or(|(_, v)| value > v) {
                 best = Some((idx, value));
             }
@@ -88,7 +102,7 @@ pub fn greedy_with_locks(oracle: &UtilityOracle, locks: &[f64]) -> GreedyResult 
         let Some((idx, value)) = best else {
             break; // no candidates left
         };
-        let chosen = available.swap_remove(idx);
+        let chosen = available.remove(idx);
         current.push(Action::new(chosen, lock));
         current_value = value;
         prefix_utilities.push(current_value);
@@ -167,7 +181,7 @@ mod tests {
         let host = generators::star(7); // n = 8 candidates
         let oracle = oracle_for(host);
         let result = greedy_fixed_lock(&oracle, 6.0, 1.0); // M = 3
-        // Step k evaluates (n - k + 1) candidates: 8 + 7 + 6 = 21.
+                                                           // Step k evaluates (n - k + 1) candidates: 8 + 7 + 6 = 21.
         assert_eq!(result.evaluations, 21);
     }
 

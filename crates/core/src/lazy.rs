@@ -70,18 +70,18 @@ pub fn lazy_greedy_fixed_lock(oracle: &UtilityOracle, budget: f64, lock: f64) ->
     // singleton values are not marginal gains and cannot seed the heap.
     let mut remaining = oracle.candidates();
     if max_channels > 0 && !remaining.is_empty() {
-        let (idx, value) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| {
-                (
-                    i,
-                    oracle.simplified_utility(&Strategy::from_pairs(&[(c, lock)])),
-                )
-            })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN utilities"))
-            .expect("non-empty candidates");
-        let first = remaining.swap_remove(idx);
+        // First-strict-max over the index-sorted candidates: ties resolve
+        // to the lowest index, exactly like the eager greedy's scan and
+        // this function's own heap ordering.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &c) in remaining.iter().enumerate() {
+            let value = oracle.simplified_utility(&Strategy::from_pairs(&[(c, lock)]));
+            if best.is_none_or(|(_, v)| value > v) {
+                best = Some((i, value));
+            }
+        }
+        let (idx, value) = best.expect("non-empty candidates");
+        let first = remaining.remove(idx);
         current.push(Action::new(first, lock));
         current_value = value;
         prefix_utilities.push(current_value);

@@ -117,14 +117,14 @@ impl TransactionModel {
     /// indexed by `EdgeId::index()`.
     ///
     /// `g` may extend the host with extra nodes; their pairs weigh zero.
-    pub fn edge_rates<N, E>(&self, g: &DiGraph<N, E>) -> Vec<f64> {
+    pub fn edge_rates<N: Sync, E: Sync>(&self, g: &DiGraph<N, E>) -> Vec<f64> {
         weighted_edge_betweenness(g, |s, r| self.pair_rate(s, r))
     }
 
     /// Expected intermediary-revenue rate per node: for each `u`,
     /// `Σ_{v1≠u≠v2} m_u(v1,v2)/m(v1,v2) · N_{v1} · p_trans(v1,v2) · f_avg`
     /// — the Section IV restatement of Eq. 3, with `u` strictly interior.
-    pub fn revenue_rates<N, E>(&self, g: &DiGraph<N, E>, favg: f64) -> Vec<f64> {
+    pub fn revenue_rates<N: Sync, E: Sync>(&self, g: &DiGraph<N, E>, favg: f64) -> Vec<f64> {
         weighted_node_betweenness(g, |s, r| self.pair_rate(s, r) * favg)
     }
 
@@ -132,7 +132,11 @@ impl TransactionModel {
     /// rates of `u`'s *incident* edges (which include transactions sent or
     /// received by `u` itself). Exposed for the ablation comparing the two
     /// readings; the utility oracle uses [`TransactionModel::revenue_rates`].
-    pub fn incident_rate_revenue<N, E>(&self, g: &DiGraph<N, E>, favg: f64) -> Vec<f64> {
+    pub fn incident_rate_revenue<N: Sync, E: Sync>(
+        &self,
+        g: &DiGraph<N, E>,
+        favg: f64,
+    ) -> Vec<f64> {
         let lambda = self.edge_rates(g);
         let mut out = vec![0.0; g.node_bound()];
         for (e, s, d, _) in g.edges() {
@@ -279,10 +283,7 @@ mod tests {
                 }
                 let expect = model.probability(s, r);
                 let got = pw.probability(s, r);
-                assert!(
-                    (expect - got).abs() < EPS,
-                    "({s},{r}): {expect} vs {got}"
-                );
+                assert!((expect - got).abs() < EPS, "({s},{r}): {expect} vs {got}");
             }
         }
     }

@@ -112,10 +112,7 @@ impl Strategy {
     /// On-chain budget required: `Σ (C + l_i)` — the paper's budget
     /// constraint left-hand side.
     pub fn budget_required(&self, onchain_fee: f64) -> f64 {
-        self.actions
-            .iter()
-            .map(|a| onchain_fee + a.lock)
-            .sum()
+        self.actions.iter().map(|a| onchain_fee + a.lock).sum()
     }
 
     /// Whether the strategy respects budget `B_u` given per-channel

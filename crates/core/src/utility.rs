@@ -340,11 +340,7 @@ impl UtilityOracle {
             let lambda = self.model.edge_rates(&g);
             edge_of
                 .iter()
-                .map(|pair| {
-                    pair.map_or(0.0, |(uv, vu)| {
-                        lambda[uv.index()] + lambda[vu.index()]
-                    })
-                })
+                .map(|pair| pair.map_or(0.0, |(uv, vu)| lambda[uv.index()] + lambda[vu.index()]))
                 .collect()
         })
     }
@@ -482,10 +478,7 @@ mod tests {
         let oracle = star_oracle(5);
         let to_hub = oracle.simplified_utility(&Strategy::from_pairs(&[(NodeId(0), 1.0)]));
         let to_leaf = oracle.simplified_utility(&Strategy::from_pairs(&[(NodeId(1), 1.0)]));
-        assert!(
-            to_hub > to_leaf,
-            "hub {to_hub} should beat leaf {to_leaf}"
-        );
+        assert!(to_hub > to_leaf, "hub {to_hub} should beat leaf {to_leaf}");
     }
 
     #[test]
@@ -573,7 +566,10 @@ mod tests {
         let oracle = star_oracle(3);
         let s = Strategy::from_pairs(&[(NodeId(0), 1.0)]);
         let b = oracle.evaluate(&s);
-        let cu = oracle.params().cost.all_onchain_cost(oracle.params().new_user_rate);
+        let cu = oracle
+            .params()
+            .cost
+            .all_onchain_cost(oracle.params().new_user_rate);
         assert!((b.benefit - (b.utility + cu)).abs() < 1e-12);
     }
 
@@ -597,7 +593,8 @@ mod tests {
         assert_eq!(g.out_degree(oracle.new_node()), 2);
         // Cost counts both channels.
         let b = oracle.evaluate(&s);
-        let expect = oracle.params().cost.channel_cost(1.0) + oracle.params().cost.channel_cost(2.0);
+        let expect =
+            oracle.params().cost.channel_cost(1.0) + oracle.params().cost.channel_cost(2.0);
         assert!((b.channel_cost - expect).abs() < 1e-12);
     }
 

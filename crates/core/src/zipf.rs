@@ -64,7 +64,10 @@ pub fn generalized_harmonic(n: usize, s: f64) -> f64 {
 /// Panics if `s` is negative or NaN (the paper requires `s > 0`; `s = 0`
 /// is allowed and yields the uniform distribution of the prior work \[19\]).
 pub fn rank_factors<N, E>(g: &DiGraph<N, E>, s: f64, variant: ZipfVariant) -> Vec<f64> {
-    assert!(s >= 0.0 && !s.is_nan(), "zipf parameter must be >= 0, got {s}");
+    assert!(
+        s >= 0.0 && !s.is_nan(),
+        "zipf parameter must be >= 0, got {s}"
+    );
     let mut rf = vec![0.0; g.node_bound()];
     // Sort live nodes by in-degree, highest first (rank 1).
     let mut nodes: Vec<NodeId> = g.node_ids().collect();
@@ -170,7 +173,11 @@ mod tests {
     fn rank_factors_sum_to_harmonic_number() {
         // The identity Σ rf = H^s_n that Thm 8's proof uses.
         for s in [0.0, 0.5, 1.0, 2.0, 3.7] {
-            for g in [generators::star(6), generators::cycle(7), generators::path(5)] {
+            for g in [
+                generators::star(6),
+                generators::cycle(7),
+                generators::path(5),
+            ] {
                 let rf = rank_factors(&g, s, ZipfVariant::Averaged);
                 let total: f64 = rf.iter().sum();
                 let expect = generalized_harmonic(g.node_count(), s);
@@ -230,10 +237,7 @@ mod tests {
     fn s_zero_gives_uniform_distribution() {
         let g = generators::star(5);
         let p = transaction_probabilities(&g, NodeId(1), 0.0, ZipfVariant::Averaged);
-        let live: Vec<f64> = (0..p.len())
-            .filter(|&i| i != 1)
-            .map(|i| p[i])
-            .collect();
+        let live: Vec<f64> = (0..p.len()).filter(|&i| i != 1).map(|i| p[i]).collect();
         for &x in &live {
             assert!((x - 1.0 / 5.0).abs() < EPS, "uniform expected, got {x}");
         }
@@ -292,7 +296,11 @@ mod tests {
     fn large_s_concentrates_on_top_rank() {
         let g = generators::star(6);
         let p = transaction_probabilities(&g, NodeId(1), 30.0, ZipfVariant::Averaged);
-        assert!(p[0] > 0.999, "hub should absorb almost all mass, got {}", p[0]);
+        assert!(
+            p[0] > 0.999,
+            "hub should absorb almost all mass, got {}",
+            p[0]
+        );
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Property-based tests for the paper's model and algorithms.
+//! Property-based tests for the paper's model and algorithms
+//! (seeded-random loops — the offline build has no proptest, so each
+//! former proptest strategy became a deterministic generator driven by a
+//! per-case seed that is printed on failure for replay).
 //!
 //! Invariants checked on randomized hosts:
 //! * modified Zipf: normalization, `Σrf = H^s_n`, tie fairness, rank
@@ -16,29 +19,27 @@ use lcg_core::strategy::{Action, Strategy as JoinStrategy};
 use lcg_core::utility::{Objective, RevenueMode, UtilityOracle, UtilityParams};
 use lcg_core::zipf::{generalized_harmonic, rank_factors, transaction_probabilities, ZipfVariant};
 use lcg_graph::{DiGraph, NodeId};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 40;
 
 /// A random connected channel graph on `n ∈ [4, 9]` nodes: a ring plus
-/// random chords encoded as undirected channel pairs.
-fn arb_host() -> impl Strategy<Value = DiGraph<(), ()>> {
-    (
-        4usize..=9,
-        proptest::collection::vec((0u8..=8, 0u8..=8), 0..8),
-    )
-        .prop_map(|(n, chords)| {
-            let mut g: DiGraph<(), ()> = DiGraph::new();
-            let ns = g.add_nodes(n);
-            for i in 0..n {
-                g.add_undirected(ns[i], ns[(i + 1) % n], ());
-            }
-            for (a, b) in chords {
-                let (a, b) = (a as usize % n, b as usize % n);
-                if a != b && !g.has_edge(ns[a], ns[b]) {
-                    g.add_undirected(ns[a], ns[b], ());
-                }
-            }
-            g
-        })
+/// up to 8 random chords added as undirected channel pairs.
+fn random_host(rng: &mut StdRng) -> DiGraph<(), ()> {
+    let n = rng.gen_range(4usize..=9);
+    let mut g: DiGraph<(), ()> = DiGraph::new();
+    let ns = g.add_nodes(n);
+    for i in 0..n {
+        g.add_undirected(ns[i], ns[(i + 1) % n], ());
+    }
+    for _ in 0..rng.gen_range(0usize..8) {
+        let (a, b) = (rng.gen_range(0usize..n), rng.gen_range(0usize..n));
+        if a != b && !g.has_edge(ns[a], ns[b]) {
+            g.add_undirected(ns[a], ns[b], ());
+        }
+    }
+    g
 }
 
 fn oracle_with(host: DiGraph<(), ()>, mode: RevenueMode) -> UtilityOracle {
@@ -50,112 +51,157 @@ fn oracle_with(host: DiGraph<(), ()>, mode: RevenueMode) -> UtilityOracle {
     UtilityOracle::new(host, vec![1.0; n], params)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn for_each_case(test: impl Fn(u64, &mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0000 + case);
+        test(case, &mut rng);
+    }
+}
 
-    #[test]
-    fn zipf_invariants(host in arb_host(), s_tenths in 0u32..=40) {
-        let s = s_tenths as f64 / 10.0;
+#[test]
+fn zipf_invariants() {
+    for_each_case(|case, rng| {
+        let host = random_host(rng);
+        let s = rng.gen_range(0u32..=40) as f64 / 10.0;
         let rf = rank_factors(&host, s, ZipfVariant::Averaged);
         let total: f64 = rf.iter().sum();
         let h = generalized_harmonic(host.node_count(), s);
-        prop_assert!((total - h).abs() < 1e-9, "Σrf = {total} != H = {h}");
+        assert!(
+            (total - h).abs() < 1e-9,
+            "case {case}: Σrf = {total} != H = {h}"
+        );
         // Tie fairness + monotonicity.
         for x in host.node_ids() {
             for y in host.node_ids() {
                 let (dx, dy) = (host.in_degree(x), host.in_degree(y));
                 if dx == dy {
-                    prop_assert!((rf[x.index()] - rf[y.index()]).abs() < 1e-12);
+                    assert!((rf[x.index()] - rf[y.index()]).abs() < 1e-12, "case {case}");
                 }
                 if dx > dy {
-                    prop_assert!(rf[x.index()] >= rf[y.index()] - 1e-12);
+                    assert!(rf[x.index()] >= rf[y.index()] - 1e-12, "case {case}");
                 }
             }
         }
         // Per-sender distribution normalizes.
         let p = transaction_probabilities(&host, NodeId(0), s, ZipfVariant::Averaged);
         let total_p: f64 = p.iter().sum();
-        prop_assert!((total_p - 1.0).abs() < 1e-9);
-        prop_assert_eq!(p[0], 0.0);
-    }
+        assert!((total_p - 1.0).abs() < 1e-9, "case {case}");
+        assert_eq!(p[0], 0.0, "case {case}");
+    });
+}
 
-    #[test]
-    fn simplified_utility_is_monotone_in_every_mode(
-        host in arb_host(),
-        k1 in 1usize..3,
-        extra in 1usize..3,
-    ) {
-        for mode in [RevenueMode::Intermediary, RevenueMode::IncidentEdges, RevenueMode::FixedPerChannel] {
+#[test]
+fn simplified_utility_is_monotone_in_every_mode() {
+    for_each_case(|case, rng| {
+        let host = random_host(rng);
+        let k1_raw = rng.gen_range(1usize..3);
+        let extra = rng.gen_range(1usize..3);
+        for mode in [
+            RevenueMode::Intermediary,
+            RevenueMode::IncidentEdges,
+            RevenueMode::FixedPerChannel,
+        ] {
             let oracle = oracle_with(host.clone(), mode);
             let candidates = oracle.candidates();
-            let k1 = k1.min(candidates.len());
+            let k1 = k1_raw.min(candidates.len());
             let k2 = (k1 + extra).min(candidates.len());
-            let s1: JoinStrategy = candidates[..k1].iter().map(|&t| Action::new(t, 1.0)).collect();
-            let s2: JoinStrategy = candidates[..k2].iter().map(|&t| Action::new(t, 1.0)).collect();
+            let s1: JoinStrategy = candidates[..k1]
+                .iter()
+                .map(|&t| Action::new(t, 1.0))
+                .collect();
+            let s2: JoinStrategy = candidates[..k2]
+                .iter()
+                .map(|&t| Action::new(t, 1.0))
+                .collect();
             let u1 = oracle.simplified_utility(&s1);
             let u2 = oracle.simplified_utility(&s2);
             if u1.is_finite() && u2.is_finite() {
-                prop_assert!(u2 >= u1 - 1e-9, "{mode:?}: U'({k2}) = {u2} < U'({k1}) = {u1}");
+                assert!(
+                    u2 >= u1 - 1e-9,
+                    "case {case} {mode:?}: U'({k2}) = {u2} < U'({k1}) = {u1}"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn fixed_rate_mode_is_submodular(
-        host in arb_host(),
-        k1 in 1usize..3,
-        k2_extra in 0usize..3,
-    ) {
+#[test]
+fn fixed_rate_mode_is_submodular() {
+    for_each_case(|case, rng| {
+        let host = random_host(rng);
+        let k1_raw = rng.gen_range(1usize..3);
+        let k2_extra = rng.gen_range(0usize..3);
         let oracle = oracle_with(host, RevenueMode::FixedPerChannel);
         let candidates = oracle.candidates();
-        let k1 = k1.min(candidates.len().saturating_sub(1)).max(1);
+        let k1 = k1_raw.min(candidates.len().saturating_sub(1)).max(1);
         let k2 = (k1 + k2_extra).min(candidates.len() - 1);
-        let s1: JoinStrategy = candidates[..k1].iter().map(|&t| Action::new(t, 1.0)).collect();
-        let s2: JoinStrategy = candidates[..k2].iter().map(|&t| Action::new(t, 1.0)).collect();
+        let s1: JoinStrategy = candidates[..k1]
+            .iter()
+            .map(|&t| Action::new(t, 1.0))
+            .collect();
+        let s2: JoinStrategy = candidates[..k2]
+            .iter()
+            .map(|&t| Action::new(t, 1.0))
+            .collect();
         let x = Action::new(candidates[candidates.len() - 1], 1.0);
         let f = |s: &JoinStrategy| oracle.simplified_utility(s);
         let (a, b, c, d) = (f(&s1), f(&s2), f(&s1.with(x)), f(&s2.with(x)));
         if [a, b, c, d].iter().all(|v| v.is_finite()) {
-            prop_assert!(
+            assert!(
                 (c - a) + 1e-9 >= (d - b),
-                "submodularity violated: {} < {}", c - a, d - b
+                "case {case}: submodularity violated: {} < {}",
+                c - a,
+                d - b
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn optimizers_are_feasible_and_bounded_by_optimum(
-        host in arb_host(),
-        budget_units in 2u32..=6,
-    ) {
-        let budget = budget_units as f64;
+#[test]
+fn optimizers_are_feasible_and_bounded_by_optimum() {
+    for_each_case(|case, rng| {
+        let host = random_host(rng);
+        let budget = rng.gen_range(2u32..=6) as f64;
         let oracle = oracle_with(host, RevenueMode::FixedPerChannel);
         let c = oracle.params().cost.onchain_fee;
 
         let greedy = greedy_fixed_lock(&oracle, budget, 1.0);
-        prop_assert!(greedy.strategy.is_within_budget(c, budget));
+        assert!(greedy.strategy.is_within_budget(c, budget), "case {case}");
         for a in greedy.strategy.iter() {
-            prop_assert!(oracle.host().contains_node(a.target));
+            assert!(oracle.host().contains_node(a.target), "case {case}");
         }
 
         let lazy = lazy_greedy_fixed_lock(&oracle, budget, 1.0);
-        prop_assert!(lazy.strategy.is_within_budget(c, budget));
-        prop_assert!((greedy.simplified_utility - lazy.simplified_utility).abs() < 1e-9,
-            "lazy {} != greedy {}", lazy.simplified_utility, greedy.simplified_utility);
+        assert!(lazy.strategy.is_within_budget(c, budget), "case {case}");
+        assert!(
+            (greedy.simplified_utility - lazy.simplified_utility).abs() < 1e-9,
+            "case {case}: lazy {} != greedy {}",
+            lazy.simplified_utility,
+            greedy.simplified_utility
+        );
 
         if oracle.candidates().len() <= 9 {
             let opt = optimal_fixed_lock(&oracle, budget, 1.0, Objective::Simplified);
-            prop_assert!(greedy.simplified_utility <= opt.value + 1e-9);
+            assert!(greedy.simplified_utility <= opt.value + 1e-9, "case {case}");
             if opt.value > 0.0 {
                 let floor = 1.0 - (1.0f64).exp().recip();
-                prop_assert!(greedy.simplified_utility >= floor * opt.value - 1e-9,
-                    "guarantee violated: {} < {} * {}", greedy.simplified_utility, floor, opt.value);
+                assert!(
+                    greedy.simplified_utility >= floor * opt.value - 1e-9,
+                    "case {case}: guarantee violated: {} < {} * {}",
+                    greedy.simplified_utility,
+                    floor,
+                    opt.value
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn evaluation_breakdown_is_consistent(host in arb_host(), locks in 1u32..=3) {
+#[test]
+fn evaluation_breakdown_is_consistent() {
+    for_each_case(|case, rng| {
+        let host = random_host(rng);
+        let locks = rng.gen_range(1u32..=3);
         let oracle = oracle_with(host, RevenueMode::Intermediary);
         let strategy: JoinStrategy = oracle
             .candidates()
@@ -165,13 +211,22 @@ proptest! {
             .collect();
         let b = oracle.evaluate(&strategy);
         if b.utility.is_finite() {
-            prop_assert!((b.simplified - (b.revenue - b.expected_fees)).abs() < 1e-9);
-            prop_assert!((b.utility - (b.simplified - b.channel_cost)).abs() < 1e-9);
-            let cu = oracle.params().cost.all_onchain_cost(oracle.params().new_user_rate);
-            prop_assert!((b.benefit - (b.utility + cu)).abs() < 1e-9);
-            prop_assert!(b.revenue >= -1e-12);
-            prop_assert!(b.expected_fees >= -1e-12);
-            prop_assert!(b.channel_cost >= -1e-12);
+            assert!(
+                (b.simplified - (b.revenue - b.expected_fees)).abs() < 1e-9,
+                "case {case}"
+            );
+            assert!(
+                (b.utility - (b.simplified - b.channel_cost)).abs() < 1e-9,
+                "case {case}"
+            );
+            let cu = oracle
+                .params()
+                .cost
+                .all_onchain_cost(oracle.params().new_user_rate);
+            assert!((b.benefit - (b.utility + cu)).abs() < 1e-9, "case {case}");
+            assert!(b.revenue >= -1e-12, "case {case}");
+            assert!(b.expected_fees >= -1e-12, "case {case}");
+            assert!(b.channel_cost >= -1e-12, "case {case}");
         }
-    }
+    });
 }

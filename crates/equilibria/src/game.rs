@@ -206,7 +206,8 @@ impl Game {
         let revenue = model.revenue_rates(&self.graph, self.params.b);
         let mut out = vec![f64::NEG_INFINITY; n];
         for v in self.graph.node_ids() {
-            out[v.index()] = revenue[v.index()] - self.expected_fees(&model, v)
+            out[v.index()] = revenue[v.index()]
+                - self.expected_fees(&model, v)
                 - self.params.link_cost * self.owned_count(v) as f64;
         }
         out
@@ -222,7 +223,8 @@ impl Game {
             vec![1.0; n],
         );
         let revenue = model.revenue_rates(&self.graph, self.params.b);
-        revenue[v.index()] - self.expected_fees(&model, v)
+        revenue[v.index()]
+            - self.expected_fees(&model, v)
             - self.params.link_cost * self.owned_count(v) as f64
     }
 
@@ -261,10 +263,7 @@ impl Game {
         let mut g = self.clone();
         let owned = self.owned_channels(player);
         for &t in remove {
-            assert!(
-                owned.contains(&t),
-                "{player} does not own a channel to {t}"
-            );
+            assert!(owned.contains(&t), "{player} does not own a channel to {t}");
             g.remove_channel(player, t);
         }
         for &t in add {

@@ -128,10 +128,26 @@ pub fn best_deviation(game: &Game, player: NodeId, explored: &mut u64) -> Option
 /// assert!(report.is_equilibrium);
 /// ```
 pub fn check_equilibrium(game: &Game) -> NashReport {
+    // Players deviate independently of one another, so each player's
+    // exponential enumeration fans out to its own core when the `parallel`
+    // feature is on. Results come back in player order and are folded
+    // sequentially, so the report is identical at any thread count.
+    let players: Vec<NodeId> = game.graph().node_ids().collect();
+    let check_player = |&player: &NodeId| {
+        let mut explored = 0u64;
+        let dev = best_deviation(game, player, &mut explored);
+        (dev, explored)
+    };
+    #[cfg(feature = "parallel")]
+    let per_player = lcg_parallel::par_map(&players, check_player);
+    #[cfg(not(feature = "parallel"))]
+    let per_player: Vec<(Option<Deviation>, u64)> = players.iter().map(check_player).collect();
+
     let mut deviations = Vec::new();
     let mut explored = 0;
-    for player in game.graph().node_ids() {
-        if let Some(dev) = best_deviation(game, player, &mut explored) {
+    for (dev, count) in per_player {
+        explored += count;
+        if let Some(dev) = dev {
             deviations.push(dev);
         }
     }
@@ -221,11 +237,7 @@ mod tests {
             ..GameParams::default()
         };
         let report = check_equilibrium(&Game::circle(4, params));
-        assert!(
-            report.is_equilibrium,
-            "deviations: {:?}",
-            report.deviations
-        );
+        assert!(report.is_equilibrium, "deviations: {:?}", report.deviations);
     }
 
     #[test]

@@ -60,8 +60,7 @@ fn shared_cost_utilities(game: &Game) -> Vec<f64> {
     for v in game.graph().node_ids() {
         if utilities[v.index()].is_finite() {
             utilities[v.index()] += params.link_cost * game.owned_count(v) as f64;
-            utilities[v.index()] -=
-                params.link_cost / 2.0 * game.graph().in_degree(v) as f64;
+            utilities[v.index()] -= params.link_cost / 2.0 * game.graph().in_degree(v) as f64;
         }
     }
     utilities

@@ -75,11 +75,11 @@ pub fn theorem8_conditions(n: usize, s: f64, a: f64, b: f64, l: f64) -> Theorem8
     let mut cond_swap_hub = Vec::new();
     for i in 2..n {
         let h_i1 = generalized_harmonic(i + 1, s);
-        let lhs2 = b * (i as f64 / 2.0) * (h_i1 - 1.0 - two_pow_neg_s) / h_n
-            + a * (h_i1 - 1.0) / h_n;
+        let lhs2 =
+            b * (i as f64 / 2.0) * (h_i1 - 1.0 - two_pow_neg_s) / h_n + a * (h_i1 - 1.0) / h_n;
         cond_add_leaves.push((i, lhs2 <= l * i as f64 + 1e-12));
-        let lhs3 = b * (i as f64 / 2.0) * (h_n - 1.0 - two_pow_neg_s) / h_n
-            + a * (h_i1 - 2.0) / h_n;
+        let lhs3 =
+            b * (i as f64 / 2.0) * (h_n - 1.0 - two_pow_neg_s) / h_n + a * (h_i1 - 2.0) / h_n;
         cond_swap_hub.push((i, lhs3 <= l * (i as f64 - 1.0) + 1e-12));
     }
     Theorem8Report {

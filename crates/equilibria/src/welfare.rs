@@ -118,10 +118,7 @@ mod tests {
             ..GameParams::default()
         };
         let (star, path, _circle) = simple_topology_welfare(6, params);
-        assert!(
-            star > path,
-            "star welfare {star} should beat path {path}"
-        );
+        assert!(star > path, "star welfare {star} should beat path {path}");
     }
 
     #[test]

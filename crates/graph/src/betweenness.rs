@@ -28,6 +28,35 @@ pub type EdgeScores = Vec<f64>;
 /// Per-node scores indexed by `NodeId::index()`; removed nodes hold `0.0`.
 pub type NodeScores = Vec<f64>;
 
+/// Sources are processed in fixed-size chunks; each chunk accumulates its
+/// own partial score vector and the chunks are summed **in chunk order**.
+/// The chunking is independent of the thread count, so the floating-point
+/// accumulation order — and therefore every output bit — is identical
+/// whether the chunks run on one thread (`LCG_THREADS=1`, the
+/// `force-sequential` feature of `lcg-parallel`, or the `parallel`
+/// feature of this crate disabled) or on all cores.
+const SOURCE_CHUNK: usize = 8;
+
+/// Runs `kernel` over every chunk of `sources` — in parallel when the
+/// `parallel` feature is enabled — and sums the partial vectors in
+/// deterministic chunk order.
+fn accumulate_over_source_chunks<K>(sources: &[NodeId], out_len: usize, kernel: K) -> Vec<f64>
+where
+    K: Fn(&[NodeId], &mut Vec<f64>) + Sync,
+{
+    let chunks: Vec<&[NodeId]> = sources.chunks(SOURCE_CHUNK).collect();
+    let run_chunk = |chunk: &&[NodeId]| {
+        let mut partial = vec![0.0; out_len];
+        kernel(chunk, &mut partial);
+        partial
+    };
+    #[cfg(feature = "parallel")]
+    let partials = lcg_parallel::par_map(&chunks, run_chunk);
+    #[cfg(not(feature = "parallel"))]
+    let partials: Vec<Vec<f64>> = chunks.iter().map(run_chunk).collect();
+    lcg_parallel::sum_vecs(vec![0.0; out_len], partials)
+}
+
 /// Weighted edge betweenness: for each directed edge `e`, the sum over
 /// ordered pairs `(s, r)` of `m_e(s,r)/m(s,r) · weight(s, r)`.
 ///
@@ -50,39 +79,42 @@ pub type NodeScores = Vec<f64>;
 /// let e01 = g.find_edge(lcg_graph::NodeId(0), lcg_graph::NodeId(1)).unwrap();
 /// assert_eq!(scores[e01.index()], 2.0);
 /// ```
-pub fn weighted_edge_betweenness<N, E, W>(g: &DiGraph<N, E>, mut weight: W) -> EdgeScores
+pub fn weighted_edge_betweenness<N, E, W>(g: &DiGraph<N, E>, weight: W) -> EdgeScores
 where
-    W: FnMut(NodeId, NodeId) -> f64,
+    N: Sync,
+    E: Sync,
+    W: Fn(NodeId, NodeId) -> f64 + Sync,
 {
-    let mut scores = vec![0.0; g.edge_bound()];
-    let mut delta = vec![0.0; g.node_bound()];
-    for s in g.node_ids() {
-        let tree = bfs(g, s);
-        for d in delta.iter_mut() {
-            *d = 0.0;
-        }
-        // Reverse BFS order: farthest targets first.
-        for &w_node in tree.order.iter().rev() {
-            if w_node == s {
-                continue;
+    let sources: Vec<NodeId> = g.node_ids().collect();
+    accumulate_over_source_chunks(&sources, g.edge_bound(), |chunk, scores| {
+        let mut delta = vec![0.0; g.node_bound()];
+        for &s in chunk {
+            let tree = bfs(g, s);
+            for d in delta.iter_mut() {
+                *d = 0.0;
             }
-            let target_weight = weight(s, w_node);
-            let coeff = (target_weight + delta[w_node.index()]) / tree.sigma[w_node.index()];
-            for &e in &tree.pred_edges[w_node.index()] {
-                let (v, _) = g.edge_endpoints(e).expect("pred edge is live");
-                let contribution = tree.sigma[v.index()] * coeff;
-                scores[e.index()] += contribution;
-                delta[v.index()] += contribution;
+            // Reverse BFS order: farthest targets first.
+            for &w_node in tree.order.iter().rev() {
+                if w_node == s {
+                    continue;
+                }
+                let target_weight = weight(s, w_node);
+                let coeff = (target_weight + delta[w_node.index()]) / tree.sigma[w_node.index()];
+                for &e in &tree.pred_edges[w_node.index()] {
+                    let (v, _) = g.edge_endpoints(e).expect("pred edge is live");
+                    let contribution = tree.sigma[v.index()] * coeff;
+                    scores[e.index()] += contribution;
+                    delta[v.index()] += contribution;
+                }
             }
         }
-    }
-    scores
+    })
 }
 
 /// Classic directed edge betweenness (`weight ≡ 1`): for each edge the
 /// number of ordered reachable pairs whose shortest paths traverse it,
 /// fractionally split across the `m(s,r)` shortest paths.
-pub fn edge_betweenness<N, E>(g: &DiGraph<N, E>) -> EdgeScores {
+pub fn edge_betweenness<N: Sync, E: Sync>(g: &DiGraph<N, E>) -> EdgeScores {
     weighted_edge_betweenness(g, |_, _| 1.0)
 }
 
@@ -92,40 +124,43 @@ pub fn edge_betweenness<N, E>(g: &DiGraph<N, E>) -> EdgeScores {
 ///
 /// With `weight(v1, v2) = N_{v1} · p_trans(v1, v2) · f_avg` this is the
 /// Section IV expected-revenue formula for `u`.
-pub fn weighted_node_betweenness<N, E, W>(g: &DiGraph<N, E>, mut weight: W) -> NodeScores
+pub fn weighted_node_betweenness<N, E, W>(g: &DiGraph<N, E>, weight: W) -> NodeScores
 where
-    W: FnMut(NodeId, NodeId) -> f64,
+    N: Sync,
+    E: Sync,
+    W: Fn(NodeId, NodeId) -> f64 + Sync,
 {
-    let mut scores = vec![0.0; g.node_bound()];
-    let mut delta = vec![0.0; g.node_bound()];
-    for s in g.node_ids() {
-        let tree = bfs(g, s);
-        for d in delta.iter_mut() {
-            *d = 0.0;
-        }
-        for &w_node in tree.order.iter().rev() {
-            if w_node == s {
-                continue;
+    let sources: Vec<NodeId> = g.node_ids().collect();
+    accumulate_over_source_chunks(&sources, g.node_bound(), |chunk, scores| {
+        let mut delta = vec![0.0; g.node_bound()];
+        for &s in chunk {
+            let tree = bfs(g, s);
+            for d in delta.iter_mut() {
+                *d = 0.0;
             }
-            let target_weight = weight(s, w_node);
-            let coeff = (target_weight + delta[w_node.index()]) / tree.sigma[w_node.index()];
-            for &e in &tree.pred_edges[w_node.index()] {
-                let (v, _) = g.edge_endpoints(e).expect("pred edge is live");
-                let contribution = tree.sigma[v.index()] * coeff;
-                delta[v.index()] += contribution;
+            for &w_node in tree.order.iter().rev() {
+                if w_node == s {
+                    continue;
+                }
+                let target_weight = weight(s, w_node);
+                let coeff = (target_weight + delta[w_node.index()]) / tree.sigma[w_node.index()];
+                for &e in &tree.pred_edges[w_node.index()] {
+                    let (v, _) = g.edge_endpoints(e).expect("pred edge is live");
+                    let contribution = tree.sigma[v.index()] * coeff;
+                    delta[v.index()] += contribution;
+                }
+            }
+            for v in g.node_ids() {
+                if v != s {
+                    scores[v.index()] += delta[v.index()];
+                }
             }
         }
-        for v in g.node_ids() {
-            if v != s {
-                scores[v.index()] += delta[v.index()];
-            }
-        }
-    }
-    scores
+    })
 }
 
 /// Classic directed node betweenness (`weight ≡ 1`), endpoints excluded.
-pub fn node_betweenness<N, E>(g: &DiGraph<N, E>) -> NodeScores {
+pub fn node_betweenness<N: Sync, E: Sync>(g: &DiGraph<N, E>) -> NodeScores {
     weighted_node_betweenness(g, |_, _| 1.0)
 }
 
@@ -275,7 +310,8 @@ mod tests {
                 None => continue,
             };
             // Deterministic but non-uniform pair weights.
-            let weight = |s: NodeId, r: NodeId| 1.0 + 0.1 * s.index() as f64 + 0.01 * r.index() as f64;
+            let weight =
+                |s: NodeId, r: NodeId| 1.0 + 0.1 * s.index() as f64 + 0.01 * r.index() as f64;
             let fast_e = weighted_edge_betweenness(&g, weight);
             let fast_n = weighted_node_betweenness(&g, weight);
             let (slow_e, slow_n) = brute_force_betweenness(&g, weight);

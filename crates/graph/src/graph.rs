@@ -211,8 +211,14 @@ impl<N, E> DiGraph<N, E> {
     /// Panics if either endpoint does not exist (programming error: edges
     /// must connect live nodes).
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, data: E) -> EdgeId {
-        assert!(self.contains_node(src), "add_edge: source {src} not in graph");
-        assert!(self.contains_node(dst), "add_edge: target {dst} not in graph");
+        assert!(
+            self.contains_node(src),
+            "add_edge: source {src} not in graph"
+        );
+        assert!(
+            self.contains_node(dst),
+            "add_edge: target {dst} not in graph"
+        );
         let id = EdgeId(self.edges.len());
         self.edges.push(Some(EdgeRecord { src, dst, data }));
         self.out_edges[src.0].push(id);
@@ -259,11 +265,11 @@ impl<N, E> DiGraph<N, E> {
 
     /// Finds the first live edge `src -> dst`, if any.
     pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
-        self.out_edges.get(src.0)?.iter().copied().find(|&e| {
-            self.edges[e.0]
-                .as_ref()
-                .is_some_and(|rec| rec.dst == dst)
-        })
+        self.out_edges
+            .get(src.0)?
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.0].as_ref().is_some_and(|rec| rec.dst == dst))
     }
 
     /// Returns `true` if at least one live edge `src -> dst` exists.
@@ -326,7 +332,8 @@ impl<N, E> DiGraph<N, E> {
     /// Iterates over `(edge, src, dst, &data)` for all live edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, &E)> + '_ {
         self.edges.iter().enumerate().filter_map(|(i, e)| {
-            e.as_ref().map(|rec| (EdgeId(i), rec.src, rec.dst, &rec.data))
+            e.as_ref()
+                .map(|rec| (EdgeId(i), rec.src, rec.dst, &rec.data))
         })
     }
 

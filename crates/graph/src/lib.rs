@@ -38,7 +38,7 @@ pub mod betweenness;
 pub mod bfs;
 pub mod dijkstra;
 pub mod generators;
-pub mod metrics;
 pub mod graph;
+pub mod metrics;
 
 pub use graph::{DiGraph, EdgeId, NodeId};

@@ -1,4 +1,7 @@
-//! Property-based tests for the graph substrate.
+//! Property-based tests for the graph substrate (seeded-random loops —
+//! the offline build has no proptest, so each former proptest strategy
+//! became a deterministic generator driven by a per-case seed that is
+//! printed on failure for replay).
 //!
 //! Invariants checked on randomized graphs:
 //! * Brandes betweenness ≡ brute-force shortest-path enumeration.
@@ -13,125 +16,168 @@ use lcg_graph::betweenness::{
 use lcg_graph::bfs::{all_pairs_distances, bfs};
 use lcg_graph::dijkstra::dijkstra;
 use lcg_graph::{DiGraph, NodeId};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random directed graph on `n ∈ [2, 8]` nodes given by an
-/// adjacency bitmask per ordered pair.
-fn arb_digraph() -> impl Strategy<Value = DiGraph<(), ()>> {
-    (2usize..=8).prop_flat_map(|n| {
-        proptest::collection::vec(proptest::bool::ANY, n * n).prop_map(move |bits| {
-            let mut g: DiGraph<(), ()> = DiGraph::new();
-            let ns = g.add_nodes(n);
-            for i in 0..n {
-                for j in 0..n {
-                    if i != j && bits[i * n + j] {
-                        g.add_edge(ns[i], ns[j], ());
-                    }
-                }
+const CASES: u64 = 64;
+
+/// A random directed graph on `n ∈ [2, 8]` nodes: each ordered pair is
+/// an edge with probability 1/2 (the former adjacency-bitmask strategy).
+fn random_digraph(rng: &mut StdRng) -> DiGraph<(), ()> {
+    let n = rng.gen_range(2usize..=8);
+    let mut g: DiGraph<(), ()> = DiGraph::new();
+    let ns = g.add_nodes(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(0.5) {
+                g.add_edge(ns[i], ns[j], ());
             }
-            g
-        })
-    })
+        }
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn for_each_case(test: impl Fn(u64, &mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD1_6A00 + case);
+        test(case, &mut rng);
+    }
+}
 
-    #[test]
-    fn brandes_equals_brute_force(g in arb_digraph()) {
+#[test]
+fn brandes_equals_brute_force() {
+    for_each_case(|case, rng| {
+        let g = random_digraph(rng);
         let weight = |s: NodeId, r: NodeId| 1.0 + s.index() as f64 * 0.3 + r.index() as f64 * 0.07;
         let fast_e = weighted_edge_betweenness(&g, weight);
         let fast_n = weighted_node_betweenness(&g, weight);
         let (slow_e, slow_n) = brute_force_betweenness(&g, weight);
         for e in g.edge_ids() {
-            prop_assert!((fast_e[e.index()] - slow_e[e.index()]).abs() < 1e-9,
-                "edge {e}: {} vs {}", fast_e[e.index()], slow_e[e.index()]);
+            assert!(
+                (fast_e[e.index()] - slow_e[e.index()]).abs() < 1e-9,
+                "case {case} edge {e}: {} vs {}",
+                fast_e[e.index()],
+                slow_e[e.index()]
+            );
         }
         for v in g.node_ids() {
-            prop_assert!((fast_n[v.index()] - slow_n[v.index()]).abs() < 1e-9,
-                "node {v}: {} vs {}", fast_n[v.index()], slow_n[v.index()]);
+            assert!(
+                (fast_n[v.index()] - slow_n[v.index()]).abs() < 1e-9,
+                "case {case} node {v}: {} vs {}",
+                fast_n[v.index()],
+                slow_n[v.index()]
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn sigma_counts_enumerated_paths(g in arb_digraph()) {
+#[test]
+fn sigma_counts_enumerated_paths() {
+    for_each_case(|case, rng| {
+        let g = random_digraph(rng);
         for s in g.node_ids() {
             let tree = bfs(&g, s);
             for r in g.node_ids() {
-                if r == s { continue; }
+                if r == s {
+                    continue;
+                }
                 let paths = enumerate_shortest_paths(&g, &tree, r);
-                prop_assert!((tree.path_count(r) - paths.len() as f64).abs() < 1e-9,
-                    "σ({s},{r}) = {} but {} paths enumerated", tree.path_count(r), paths.len());
+                assert!(
+                    (tree.path_count(r) - paths.len() as f64).abs() < 1e-9,
+                    "case {case}: σ({s},{r}) = {} but {} paths enumerated",
+                    tree.path_count(r),
+                    paths.len()
+                );
                 // Every enumerated path has the BFS distance as length.
                 if let Some(d) = tree.distance(r) {
                     for p in &paths {
-                        prop_assert_eq!(p.len() as u32, d);
+                        assert_eq!(p.len() as u32, d, "case {case}");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dijkstra_unit_cost_equals_bfs(g in arb_digraph()) {
+#[test]
+fn dijkstra_unit_cost_equals_bfs() {
+    for_each_case(|case, rng| {
+        let g = random_digraph(rng);
         for s in g.node_ids() {
             let sp = dijkstra(&g, s, |_, _| Some(1.0));
             let t = bfs(&g, s);
             for v in g.node_ids() {
                 let a = sp.cost_to(v).map(|c| c.round() as u32);
                 let b = t.distance(v);
-                prop_assert_eq!(a, b, "source {} target {}", s, v);
+                assert_eq!(a, b, "case {case} source {s} target {v}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn filtering_edges_never_shortens_distances(g in arb_digraph(), keep_mod in 2usize..4) {
+#[test]
+fn filtering_edges_never_shortens_distances() {
+    for_each_case(|case, rng| {
+        let g = random_digraph(rng);
+        let keep_mod = rng.gen_range(2usize..4);
         let reduced = g.filter_edges(|e, _, _, _| e.index() % keep_mod != 0);
         let full = all_pairs_distances(&g);
         let red = all_pairs_distances(&reduced);
         for s in g.node_ids() {
             for t in g.node_ids() {
                 match (full[s.index()][t.index()], red[s.index()][t.index()]) {
-                    (None, Some(_)) => prop_assert!(false, "filtering created a path"),
-                    (Some(a), Some(b)) => prop_assert!(b >= a, "filtering shortened {s}->{t}"),
+                    (None, Some(_)) => panic!("case {case}: filtering created a path {s}->{t}"),
+                    (Some(a), Some(b)) => {
+                        assert!(b >= a, "case {case}: filtering shortened {s}->{t}")
+                    }
                     _ => {}
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn removing_node_preserves_other_ids_and_degrees(g in arb_digraph()) {
+#[test]
+fn removing_node_preserves_other_ids_and_degrees() {
+    for_each_case(|case, rng| {
+        let g = random_digraph(rng);
         let victim = NodeId(0);
         let mut h = g.clone();
         h.remove_node(victim);
         for v in g.node_ids() {
-            if v == victim { continue; }
-            prop_assert!(h.contains_node(v));
+            if v == victim {
+                continue;
+            }
+            assert!(h.contains_node(v), "case {case}");
             // Degree can only drop by edges incident to the victim.
             let lost_out = g.out_neighbors(v).filter(|&d| d == victim).count();
             let lost_in = g.in_neighbors(v).filter(|&s| s == victim).count();
-            prop_assert_eq!(h.out_degree(v), g.out_degree(v) - lost_out);
-            prop_assert_eq!(h.in_degree(v), g.in_degree(v) - lost_in);
+            assert_eq!(h.out_degree(v), g.out_degree(v) - lost_out, "case {case}");
+            assert_eq!(h.in_degree(v), g.in_degree(v) - lost_in, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn without_node_equals_remove_node(g in arb_digraph()) {
+#[test]
+fn without_node_equals_remove_node() {
+    for_each_case(|case, rng| {
+        let g = random_digraph(rng);
         let victim = NodeId(1);
         let a = g.without_node(victim);
         let mut b = g.clone();
         b.remove_node(victim);
-        prop_assert_eq!(a.node_count(), b.node_count());
-        prop_assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.node_count(), b.node_count(), "case {case}");
+        assert_eq!(a.edge_count(), b.edge_count(), "case {case}");
         for e in a.edge_ids() {
-            prop_assert_eq!(a.edge_endpoints(e), b.edge_endpoints(e));
+            assert_eq!(a.edge_endpoints(e), b.edge_endpoints(e), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn betweenness_total_counts_reachable_pair_path_lengths(g in arb_digraph()) {
+#[test]
+fn betweenness_total_counts_reachable_pair_path_lengths() {
+    for_each_case(|case, rng| {
+        let g = random_digraph(rng);
         // Σ_e EBC(e) = Σ_{(s,r) reachable, s≠r} d(s,r): each pair spreads
         // total weight d(s,r) across its shortest paths' edges.
         let scores = weighted_edge_betweenness(&g, |_, _| 1.0);
@@ -147,6 +193,9 @@ proptest! {
                 }
             }
         }
-        prop_assert!((total - expect).abs() < 1e-6, "{total} vs {expect}");
-    }
+        assert!(
+            (total - expect).abs() < 1e-6,
+            "case {case}: {total} vs {expect}"
+        );
+    });
 }

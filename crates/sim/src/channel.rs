@@ -154,7 +154,7 @@ impl Channel {
     /// and finite; [`PaymentError::InsufficientBalance`] if the sender owns
     /// less than `amount` (the channel state is unchanged on error).
     pub fn pay(&mut self, from: Side, amount: f64) -> Result<(), PaymentError> {
-        if !(amount > 0.0) || amount.is_infinite() {
+        if amount <= 0.0 || amount.is_nan() || amount.is_infinite() {
             return Err(PaymentError::InvalidAmount { amount });
         }
         let available = self.balance(from);

@@ -241,11 +241,7 @@ mod tests {
         let report = simulate(&mut pcn, &txs, &mut rng);
         // Total traversal rate = sum of edge rates; must be between the
         // arrival rate (all 1-hop) and twice it (all 2-hop), N = 5.
-        let total_rate: f64 = pcn
-            .graph()
-            .edge_ids()
-            .map(|e| report.edge_rate(e))
-            .sum();
+        let total_rate: f64 = pcn.graph().edge_ids().map(|e| report.edge_rate(e)).sum();
         assert!(total_rate > 5.0 * 0.9, "rate {total_rate}");
         assert!(total_rate < 10.0 * 1.1, "rate {total_rate}");
     }

@@ -49,7 +49,10 @@ impl FeeFunction {
     ///
     /// Panics if `t` is negative or NaN (sizes live in `[0, T]`).
     pub fn fee(&self, t: f64) -> f64 {
-        assert!(t >= 0.0 && !t.is_nan(), "transaction size must be >= 0, got {t}");
+        assert!(
+            t >= 0.0 && !t.is_nan(),
+            "transaction size must be >= 0, got {t}"
+        );
         match *self {
             FeeFunction::Constant { fee } => fee,
             FeeFunction::Linear { base, rate } => base + rate * t,
@@ -102,9 +105,11 @@ impl TxSizeDistribution {
     fn density(&self, t: f64) -> Option<f64> {
         match *self {
             TxSizeDistribution::Constant { .. } => None,
-            TxSizeDistribution::Uniform { max } => {
-                Some(if (0.0..=max).contains(&t) { 1.0 / max } else { 0.0 })
-            }
+            TxSizeDistribution::Uniform { max } => Some(if (0.0..=max).contains(&t) {
+                1.0 / max
+            } else {
+                0.0
+            }),
             TxSizeDistribution::TruncatedExp { mean, max } => {
                 if !(0.0..=max).contains(&t) {
                     return Some(0.0);
@@ -190,7 +195,10 @@ mod tests {
 
     #[test]
     fn linear_fee_combines_base_and_rate() {
-        let f = FeeFunction::Linear { base: 0.1, rate: 0.02 };
+        let f = FeeFunction::Linear {
+            base: 0.1,
+            rate: 0.02,
+        };
         assert!((f.fee(5.0) - 0.2).abs() < 1e-12);
     }
 
@@ -203,7 +211,10 @@ mod tests {
     #[test]
     fn favg_point_mass_is_exact() {
         let favg = average_fee(
-            &FeeFunction::Linear { base: 1.0, rate: 0.5 },
+            &FeeFunction::Linear {
+                base: 1.0,
+                rate: 0.5,
+            },
             &TxSizeDistribution::Constant { size: 4.0 },
         );
         assert!((favg - 3.0).abs() < 1e-12);
@@ -230,7 +241,10 @@ mod tests {
     #[test]
     fn favg_truncated_exp_close_to_monte_carlo() {
         let fee = FeeFunction::Proportional { rate: 1.0 };
-        let dist = TxSizeDistribution::TruncatedExp { mean: 2.0, max: 10.0 };
+        let dist = TxSizeDistribution::TruncatedExp {
+            mean: 2.0,
+            max: 10.0,
+        };
         let analytic = average_fee(&fee, &dist);
         let mut rng = StdRng::seed_from_u64(5);
         let n = 200_000;
@@ -247,7 +261,10 @@ mod tests {
         let dists = [
             TxSizeDistribution::Constant { size: 2.0 },
             TxSizeDistribution::Uniform { max: 5.0 },
-            TxSizeDistribution::TruncatedExp { mean: 1.0, max: 3.0 },
+            TxSizeDistribution::TruncatedExp {
+                mean: 1.0,
+                max: 3.0,
+            },
         ];
         for d in dists {
             for _ in 0..1000 {
@@ -265,7 +282,10 @@ mod tests {
     fn density_integrates_to_one() {
         for d in [
             TxSizeDistribution::Uniform { max: 4.0 },
-            TxSizeDistribution::TruncatedExp { mean: 1.5, max: 4.0 },
+            TxSizeDistribution::TruncatedExp {
+                mean: 1.5,
+                max: 4.0,
+            },
         ] {
             let favg = average_fee(&FeeFunction::Constant { fee: 1.0 }, &d);
             assert!((favg - 1.0).abs() < 1e-6, "∫p = {favg} for {d:?}");

@@ -88,7 +88,7 @@ impl Htlc {
         if path.is_empty() {
             return Err(RouteError::NoPath);
         }
-        if !(amount > 0.0) || amount.is_infinite() {
+        if amount <= 0.0 || amount.is_nan() || amount.is_infinite() {
             return Err(RouteError::InvalidAmount { amount });
         }
         let (amounts, total_fees) = pcn.hop_amounts(path, amount);
@@ -143,7 +143,12 @@ impl Htlc {
     /// Panics if the HTLC is not pending (double settlement is a protocol
     /// violation, not an I/O condition).
     pub fn settle(mut self, pcn: &mut Pcn) {
-        assert_eq!(self.state, HtlcState::Pending, "settle on {} HTLC", self.state);
+        assert_eq!(
+            self.state,
+            HtlcState::Pending,
+            "settle on {} HTLC",
+            self.state
+        );
         pcn.commit_reservations(&self.path, &self.amounts, self.amount, self.total_fees);
         self.state = HtlcState::Settled;
     }
@@ -155,7 +160,12 @@ impl Htlc {
     ///
     /// Panics if the HTLC is not pending.
     pub fn fail(mut self, pcn: &mut Pcn) {
-        assert_eq!(self.state, HtlcState::Pending, "fail on {} HTLC", self.state);
+        assert_eq!(
+            self.state,
+            HtlcState::Pending,
+            "fail on {} HTLC",
+            self.state
+        );
         for (e, need) in self.path.iter().zip(&self.amounts) {
             pcn.release(*e, *need);
         }
@@ -164,12 +174,16 @@ impl Htlc {
 
     /// Sender of the payment (tail of the first hop).
     pub fn sender(&self, pcn: &Pcn) -> Option<NodeId> {
-        pcn.graph().edge_endpoints(*self.path.first()?).map(|(s, _)| s)
+        pcn.graph()
+            .edge_endpoints(*self.path.first()?)
+            .map(|(s, _)| s)
     }
 
     /// Receiver of the payment (head of the last hop).
     pub fn receiver(&self, pcn: &Pcn) -> Option<NodeId> {
-        pcn.graph().edge_endpoints(*self.path.last()?).map(|(_, d)| d)
+        pcn.graph()
+            .edge_endpoints(*self.path.last()?)
+            .map(|(_, d)| d)
     }
 }
 
@@ -281,7 +295,9 @@ mod tests {
         // execute_on_path.
         let (mut via_htlc, path) = line3(0.5);
         let (mut direct, _) = line3(0.5);
-        Htlc::lock(&mut via_htlc, &path, 2.0).unwrap().settle(&mut via_htlc);
+        Htlc::lock(&mut via_htlc, &path, 2.0)
+            .unwrap()
+            .settle(&mut via_htlc);
         direct.execute_on_path(&path, 2.0).unwrap();
         for e in via_htlc.graph().edge_ids() {
             assert!(
@@ -289,7 +305,10 @@ mod tests {
                 "balance mismatch on {e}"
             );
         }
-        assert_eq!(via_htlc.fees_earned(NodeId(1)), direct.fees_earned(NodeId(1)));
+        assert_eq!(
+            via_htlc.fees_earned(NodeId(1)),
+            direct.fees_earned(NodeId(1))
+        );
         assert_eq!(via_htlc.fees_spent(NodeId(0)), direct.fees_spent(NodeId(0)));
     }
 }

@@ -46,9 +46,9 @@
 //! ```
 
 pub mod channel;
-pub mod htlc;
 pub mod engine;
 pub mod fees;
+pub mod htlc;
 pub mod network;
 pub mod onchain;
 pub mod rebalance;
@@ -56,4 +56,4 @@ pub mod snapshot;
 pub mod workload;
 
 pub use channel::{Channel, PaymentError, Side};
-pub use network::{Pcn, PaymentReceipt, RouteError};
+pub use network::{PaymentReceipt, Pcn, RouteError};

@@ -72,10 +72,7 @@ impl fmt::Display for RouteError {
                 edge,
                 needed,
                 available,
-            } => write!(
-                f,
-                "edge {edge} holds {available} but must carry {needed}"
-            ),
+            } => write!(f, "edge {edge} holds {available} but must carry {needed}"),
             RouteError::InvalidAmount { amount } => write!(f, "invalid amount {amount}"),
         }
     }
@@ -281,7 +278,8 @@ impl Pcn {
     /// balance can forward a payment of size `x` survive. Node and edge ids
     /// are preserved.
     pub fn reduced_graph(&self, x: f64) -> DiGraph<(), EdgeBalance> {
-        self.graph.filter_edges(|_, _, _, eb| eb.balance + 1e-9 >= x)
+        self.graph
+            .filter_edges(|_, _, _, eb| eb.balance + 1e-9 >= x)
     }
 
     /// Computes the per-edge amounts for routing `amount` along `path`
@@ -292,9 +290,7 @@ impl Pcn {
     pub fn hop_amounts(&self, path: &[EdgeId], amount: f64) -> (Vec<f64>, f64) {
         let k = path.len();
         let fee = self.fee_function.fee(amount);
-        let amounts = (0..k)
-            .map(|i| amount + (k - 1 - i) as f64 * fee)
-            .collect();
+        let amounts = (0..k).map(|i| amount + (k - 1 - i) as f64 * fee).collect();
         let total = if k > 1 { (k - 1) as f64 * fee } else { 0.0 };
         (amounts, total)
     }
@@ -331,7 +327,7 @@ impl Pcn {
         amount: f64,
         rng: &mut R,
     ) -> Result<PaymentReceipt, RouteError> {
-        if !(amount > 0.0) || amount.is_infinite() {
+        if amount <= 0.0 || amount.is_nan() || amount.is_infinite() {
             return Err(RouteError::InvalidAmount { amount });
         }
         for node in [s, r] {
@@ -367,9 +363,7 @@ impl Pcn {
         let (amounts, total_fees) = self.hop_amounts(path, amount);
         // Phase 1: validate every hop (HTLC lock acquisition).
         for (e, need) in path.iter().zip(&amounts) {
-            let available = self
-                .balance(*e)
-                .ok_or(RouteError::NoPath)?;
+            let available = self.balance(*e).ok_or(RouteError::NoPath)?;
             if *need > available + 1e-9 {
                 return Err(RouteError::InsufficientCapacity {
                     edge: *e,
@@ -513,10 +507,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn line3() -> (Pcn, Vec<NodeId>) {
-        let mut pcn = Pcn::new(
-            CostModel::new(1.0, 0.0),
-            FeeFunction::Constant { fee: 0.5 },
-        );
+        let mut pcn = Pcn::new(CostModel::new(1.0, 0.0), FeeFunction::Constant { fee: 0.5 });
         let ns: Vec<NodeId> = (0..3).map(|_| pcn.add_node()).collect();
         pcn.open_channel(ns[0], ns[1], 10.0, 10.0);
         pcn.open_channel(ns[1], ns[2], 10.0, 10.0);
@@ -580,10 +571,7 @@ mod tests {
     fn fees_make_first_hop_exceed_reduced_filter() {
         // The reduced graph admits the *amount*, but amount + downstream
         // fees exceeds the first hop: caught in HTLC validation.
-        let mut pcn = Pcn::new(
-            CostModel::default(),
-            FeeFunction::Constant { fee: 1.0 },
-        );
+        let mut pcn = Pcn::new(CostModel::default(), FeeFunction::Constant { fee: 1.0 });
         let ns: Vec<NodeId> = (0..3).map(|_| pcn.add_node()).collect();
         pcn.open_channel(ns[0], ns[1], 5.2, 0.0);
         pcn.open_channel(ns[1], ns[2], 10.0, 0.0);
@@ -676,7 +664,9 @@ mod tests {
         let mut via1 = 0;
         let trials = 2000;
         for _ in 0..trials {
-            let p = pcn.sample_shortest_path(ns[0], ns[3], 1.0, &mut rng).unwrap();
+            let p = pcn
+                .sample_shortest_path(ns[0], ns[3], 1.0, &mut rng)
+                .unwrap();
             let (_, mid) = pcn.graph().edge_endpoints(p[0]).unwrap();
             if mid == ns[1] {
                 via1 += 1;
@@ -689,10 +679,18 @@ mod tests {
     #[test]
     fn capacity_is_conserved_by_payments() {
         let (mut pcn, ns) = line3();
-        let total_before: f64 = pcn.graph().edge_ids().map(|e| pcn.balance(e).unwrap()).sum();
+        let total_before: f64 = pcn
+            .graph()
+            .edge_ids()
+            .map(|e| pcn.balance(e).unwrap())
+            .sum();
         pcn.pay(ns[0], ns[2], 3.0).unwrap();
         pcn.pay(ns[2], ns[0], 1.0).unwrap();
-        let total_after: f64 = pcn.graph().edge_ids().map(|e| pcn.balance(e).unwrap()).sum();
+        let total_after: f64 = pcn
+            .graph()
+            .edge_ids()
+            .map(|e| pcn.balance(e).unwrap())
+            .sum();
         assert!(
             (total_before - total_after).abs() < 1e-9,
             "coins leaked: {total_before} -> {total_after}"

@@ -65,7 +65,11 @@ pub fn find_rebalancing_cycle(pcn: &Pcn, target: EdgeId, amount: f64) -> Option<
 ///
 /// [`RouteError::NoPath`] when no cycle with sufficient capacity exists;
 /// capacity errors if balances changed between discovery and locking.
-pub fn rebalance(pcn: &mut Pcn, target: EdgeId, amount: f64) -> Result<RebalanceReport, RouteError> {
+pub fn rebalance(
+    pcn: &mut Pcn,
+    target: EdgeId,
+    amount: f64,
+) -> Result<RebalanceReport, RouteError> {
     let cycle = find_rebalancing_cycle(pcn, target, amount).ok_or(RouteError::NoPath)?;
     let htlc = Htlc::lock(pcn, &cycle, amount)?;
     let fees = htlc.total_fees();
@@ -120,7 +124,11 @@ mod tests {
         assert_eq!(report.amount, 4.0);
         assert_eq!(report.cycle.len(), 3);
         // Total network value unchanged (3 channels: 0+10, 10+10, 10+10).
-        let total: f64 = pcn.graph().edge_ids().map(|e| pcn.balance(e).unwrap()).sum();
+        let total: f64 = pcn
+            .graph()
+            .edge_ids()
+            .map(|e| pcn.balance(e).unwrap())
+            .sum();
         assert!((total - 50.0).abs() < 1e-9, "total {total}");
         // a's other outbound direction paid for it.
         let a_to_c = pcn.graph().find_edge(ns[0], ns[2]).unwrap();

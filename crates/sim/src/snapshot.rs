@@ -191,7 +191,10 @@ mod tests {
                 delivered += 1;
             }
         }
-        assert!(delivered >= 15, "snapshot should route most small payments, got {delivered}");
+        assert!(
+            delivered >= 15,
+            "snapshot should route most small payments, got {delivered}"
+        );
     }
 
     #[test]

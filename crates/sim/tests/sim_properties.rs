@@ -1,4 +1,7 @@
-//! Property-based tests for the PCN simulator.
+//! Property-based tests for the PCN simulator (seeded-random loops —
+//! the offline build has no proptest, so each former proptest strategy
+//! became a deterministic generator driven by a per-case seed that is
+//! printed on failure for replay).
 //!
 //! Invariants checked on randomized channel networks and payment
 //! sequences:
@@ -9,38 +12,50 @@
 //! * channel capacity (per-channel balance pair sum) is invariant;
 //! * HTLC lock + settle ≡ direct payment; lock + fail ≡ no-op.
 
+use lcg_graph::NodeId;
 use lcg_sim::fees::FeeFunction;
 use lcg_sim::htlc::Htlc;
 use lcg_sim::network::Pcn;
 use lcg_sim::onchain::CostModel;
-use lcg_graph::NodeId;
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-/// A random PCN on `n ∈ [3, 7]` nodes with random channels/balances plus a
-/// guaranteed ring so the graph is connected.
-fn arb_pcn() -> impl Strategy<Value = Pcn> {
-    (
-        3usize..=7,
-        proptest::collection::vec((0u8..=6, 0u8..=6, 1u32..=20, 0u32..=20), 0..8),
-        0u8..=3,
-    )
-        .prop_map(|(n, extra, fee_decile)| {
-            let fee = fee_decile as f64 * 0.05;
-            let mut pcn = Pcn::new(CostModel::new(1.0, 0.0), FeeFunction::Constant { fee });
-            let ns: Vec<NodeId> = (0..n).map(|_| pcn.add_node()).collect();
-            for i in 0..n {
-                pcn.open_channel(ns[i], ns[(i + 1) % n], 10.0, 10.0);
-            }
-            for (a, b, x, y) in extra {
-                let (a, b) = (a as usize % n, b as usize % n);
-                if a != b {
-                    pcn.open_channel(ns[a], ns[b], x as f64, y as f64);
-                }
-            }
-            pcn
+const CASES: u64 = 48;
+
+/// A random PCN on `n ∈ [3, 7]` nodes with random channels/balances plus
+/// a guaranteed ring so the graph is connected.
+fn random_pcn(rng: &mut StdRng) -> Pcn {
+    let n = rng.gen_range(3usize..=7);
+    let fee = rng.gen_range(0u32..=3) as f64 * 0.05;
+    let mut pcn = Pcn::new(CostModel::new(1.0, 0.0), FeeFunction::Constant { fee });
+    let ns: Vec<NodeId> = (0..n).map(|_| pcn.add_node()).collect();
+    for i in 0..n {
+        pcn.open_channel(ns[i], ns[(i + 1) % n], 10.0, 10.0);
+    }
+    for _ in 0..rng.gen_range(0usize..8) {
+        let (a, b) = (rng.gen_range(0usize..n), rng.gen_range(0usize..n));
+        if a != b {
+            let x = rng.gen_range(1u32..=20) as f64;
+            let y = rng.gen_range(0u32..=20) as f64;
+            pcn.open_channel(ns[a], ns[b], x, y);
+        }
+    }
+    pcn
+}
+
+/// The former proptest payment-list strategy: up to `max_len` random
+/// `(sender, receiver, amount)` triples.
+fn random_payments(rng: &mut StdRng, max_len: usize, max_amt: u32) -> Vec<(usize, usize, u32)> {
+    let len = rng.gen_range(1usize..max_len);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0usize..=6),
+                rng.gen_range(0usize..=6),
+                rng.gen_range(1u32..=max_amt),
+            )
         })
+        .collect()
 }
 
 fn total_balance(pcn: &Pcn) -> f64 {
@@ -57,125 +72,137 @@ fn balances(pcn: &Pcn) -> Vec<f64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn for_each_case(test: impl Fn(u64, &mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x51B_0000 + case);
+        test(case, &mut rng);
+    }
+}
 
-    #[test]
-    fn payments_conserve_coins_and_stay_nonnegative(
-        pcn in arb_pcn(),
-        payments in proptest::collection::vec((0u8..=6, 0u8..=6, 1u32..=15), 1..25),
-        seed in 0u64..1000,
-    ) {
-        let mut pcn = pcn;
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn payments_conserve_coins_and_stay_nonnegative() {
+    for_each_case(|case, rng| {
+        let mut pcn = random_pcn(rng);
+        let payments = random_payments(rng, 25, 15);
         let before = total_balance(&pcn);
         let n = pcn.node_count();
         for (s, r, amt) in payments {
-            let (s, r) = (NodeId(s as usize % n), NodeId(r as usize % n));
-            let _ = pcn.pay_with_rng(s, r, amt as f64 / 3.0, &mut rng);
+            let (s, r) = (NodeId(s % n), NodeId(r % n));
+            let _ = pcn.pay_with_rng(s, r, amt as f64 / 3.0, rng);
         }
         let after = total_balance(&pcn);
-        prop_assert!((before - after).abs() < 1e-6, "coins leaked: {before} -> {after}");
+        assert!(
+            (before - after).abs() < 1e-6,
+            "case {case}: coins leaked: {before} -> {after}"
+        );
         for e in pcn.graph().edge_ids() {
-            prop_assert!(pcn.balance(e).unwrap() >= -1e-9, "negative balance on {e}");
+            assert!(
+                pcn.balance(e).unwrap() >= -1e-9,
+                "case {case}: negative balance on {e}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn failed_payment_is_a_noop(
-        pcn in arb_pcn(),
-        seed in 0u64..1000,
-    ) {
-        let mut pcn = pcn;
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn failed_payment_is_a_noop() {
+    for_each_case(|case, rng| {
+        let mut pcn = random_pcn(rng);
         let snapshot = balances(&pcn);
         // An impossible payment: bigger than the whole network.
         let huge = total_balance(&pcn) + 100.0;
-        let result = pcn.pay_with_rng(NodeId(0), NodeId(1), huge, &mut rng);
-        prop_assert!(result.is_err());
-        prop_assert_eq!(snapshot, balances(&pcn));
-    }
+        let result = pcn.pay_with_rng(NodeId(0), NodeId(1), huge, rng);
+        assert!(result.is_err(), "case {case}");
+        assert_eq!(snapshot, balances(&pcn), "case {case}");
+    });
+}
 
-    #[test]
-    fn channel_capacity_is_invariant(
-        pcn in arb_pcn(),
-        payments in proptest::collection::vec((0u8..=6, 0u8..=6, 1u32..=10), 1..15),
-        seed in 0u64..1000,
-    ) {
-        let mut pcn = pcn;
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn channel_capacity_is_invariant() {
+    for_each_case(|case, rng| {
+        let mut pcn = random_pcn(rng);
+        let payments = random_payments(rng, 15, 10);
         // Capacity per channel = balance(e) + balance(reverse(e)).
         let capacities: Vec<(f64, lcg_graph::EdgeId)> = pcn
             .graph()
             .edge_ids()
             .map(|e| {
-                let cap = pcn.balance(e).unwrap() + pcn.balance(pcn.reverse_edge(e).unwrap()).unwrap();
+                let cap =
+                    pcn.balance(e).unwrap() + pcn.balance(pcn.reverse_edge(e).unwrap()).unwrap();
                 (cap, e)
             })
             .collect();
         let n = pcn.node_count();
         for (s, r, amt) in payments {
-            let (s, r) = (NodeId(s as usize % n), NodeId(r as usize % n));
-            let _ = pcn.pay_with_rng(s, r, amt as f64 / 2.0, &mut rng);
+            let (s, r) = (NodeId(s % n), NodeId(r % n));
+            let _ = pcn.pay_with_rng(s, r, amt as f64 / 2.0, rng);
         }
         for (cap, e) in capacities {
             let now = pcn.balance(e).unwrap() + pcn.balance(pcn.reverse_edge(e).unwrap()).unwrap();
-            prop_assert!((cap - now).abs() < 1e-6, "capacity drift on {e}: {cap} -> {now}");
+            assert!(
+                (cap - now).abs() < 1e-6,
+                "case {case}: capacity drift on {e}: {cap} -> {now}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn htlc_fail_roundtrips_and_settle_matches_direct(
-        pcn in arb_pcn(),
-        amt_decile in 1u32..=10,
-        seed in 0u64..1000,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let amount = amt_decile as f64 / 2.0;
+#[test]
+fn htlc_fail_roundtrips_and_settle_matches_direct() {
+    for_each_case(|case, rng| {
+        let pcn = random_pcn(rng);
+        let amount = rng.gen_range(1u32..=10) as f64 / 2.0;
         let mut a = pcn.clone();
         // Pick any sampled route between nodes 0 and 2.
-        let Some(path) = a.sample_shortest_path(NodeId(0), NodeId(2), amount, &mut rng) else {
-            return Ok(()); // no capacity for this amount: nothing to check
+        let Some(path) = a.sample_shortest_path(NodeId(0), NodeId(2), amount, rng) else {
+            return; // no capacity for this amount: nothing to check
         };
         // fail: exact no-op
         let snapshot = balances(&a);
         match Htlc::lock(&mut a, &path, amount) {
             Ok(htlc) => {
                 htlc.fail(&mut a);
-                prop_assert_eq!(snapshot, balances(&a));
+                assert_eq!(snapshot, balances(&a), "case {case}");
             }
-            Err(_) => return Ok(()), // fees pushed a hop over: fine
+            Err(_) => return, // fees pushed a hop over: fine
         }
         // settle: identical to execute_on_path on a fresh copy
         let mut via_htlc = pcn.clone();
         let mut direct = pcn;
         if let Ok(h) = Htlc::lock(&mut via_htlc, &path, amount) {
             h.settle(&mut via_htlc);
-            direct.execute_on_path(&path, amount).expect("lock succeeded on equal state");
-            prop_assert_eq!(balances(&via_htlc), balances(&direct));
+            direct
+                .execute_on_path(&path, amount)
+                .expect("lock succeeded on equal state");
+            assert_eq!(balances(&via_htlc), balances(&direct), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn receipts_are_internally_consistent(
-        pcn in arb_pcn(),
-        seed in 0u64..1000,
-    ) {
-        let mut pcn = pcn;
-        let mut rng = StdRng::seed_from_u64(seed);
-        if let Ok(receipt) = pcn.pay_with_rng(NodeId(0), NodeId(2), 1.0, &mut rng) {
+#[test]
+fn receipts_are_internally_consistent() {
+    for_each_case(|case, rng| {
+        let mut pcn = random_pcn(rng);
+        if let Ok(receipt) = pcn.pay_with_rng(NodeId(0), NodeId(2), 1.0, rng) {
             // Path is contiguous from 0 to 2.
             let mut cur = NodeId(0);
             for e in &receipt.path {
                 let (s, d) = pcn.graph().edge_endpoints(*e).unwrap();
-                prop_assert_eq!(s, cur);
+                assert_eq!(s, cur, "case {case}");
                 cur = d;
             }
-            prop_assert_eq!(cur, NodeId(2));
+            assert_eq!(cur, NodeId(2), "case {case}");
             // One fee per intermediary.
             let fee = pcn.fee_function().fee(1.0);
-            prop_assert!((receipt.fees_paid - fee * receipt.intermediaries.len() as f64).abs() < 1e-9);
-            prop_assert_eq!(receipt.intermediaries.len(), receipt.path.len().saturating_sub(1));
+            assert!(
+                (receipt.fees_paid - fee * receipt.intermediaries.len() as f64).abs() < 1e-9,
+                "case {case}"
+            );
+            assert_eq!(
+                receipt.intermediaries.len(),
+                receipt.path.len().saturating_sub(1),
+                "case {case}"
+            );
         }
-    }
+    });
 }

@@ -39,11 +39,17 @@ fn main() {
     let oracle = UtilityOracle::new(host.clone(), vec![1.0; n], params);
     let budget = 8.0;
 
-    println!("== joining a {}-node synthetic Lightning snapshot (budget {budget}) ==\n", n);
+    println!(
+        "== joining a {}-node synthetic Lightning snapshot (budget {budget}) ==\n",
+        n
+    );
 
     let alg1 = greedy_fixed_lock(&oracle, budget, 1.0);
     println!("Algorithm 1 (fixed lock 1.0):");
-    println!("  {}  U' = {:.4}  [{} oracle calls]", alg1.strategy, alg1.simplified_utility, alg1.evaluations);
+    println!(
+        "  {}  U' = {:.4}  [{} oracle calls]",
+        alg1.strategy, alg1.simplified_utility, alg1.evaluations
+    );
 
     let alg2 = exhaustive_search(
         &oracle,
@@ -68,7 +74,10 @@ fn main() {
 
     let opt = optimal_discrete(&oracle, budget, 2.0, Objective::Simplified);
     println!("Exact optimum (discrete, granularity 2.0):");
-    println!("  {}  U' = {:.4}  [{} strategies]", opt.strategy, opt.value, opt.explored);
+    println!(
+        "  {}  U' = {:.4}  [{} strategies]",
+        opt.strategy, opt.value, opt.explored
+    );
 
     // --- validate the Algorithm 1 strategy on the simulator ---
     let predicted = oracle.evaluate(&alg1.strategy);
@@ -100,7 +109,10 @@ fn main() {
     println!("  payments attempted : {}", result.attempted);
     println!("  success rate       : {:.4}", result.success_rate());
     println!("  predicted  E^rev   : {:.4}/unit-time", predicted.revenue);
-    println!("  simulated revenue  : {:.4}/unit-time", result.revenue_rate(u));
+    println!(
+        "  simulated revenue  : {:.4}/unit-time",
+        result.revenue_rate(u)
+    );
     println!(
         "  (the simulated rate re-ranks degrees after joining, so small deviations are expected)"
     );

@@ -51,9 +51,7 @@ fn main() {
             "{:<8} {:>9} {:>10} {:>14} {:>12.4} {:>12.4}",
             s,
             summary.channels,
-            summary
-                .diameter
-                .map_or("-".to_string(), |d| d.to_string()),
+            summary.diameter.map_or("-".to_string(), |d| d.to_string()),
             format!("{:?}", &degrees[..3]),
             summary.clustering,
             summary.avg_path_length.unwrap_or(f64::NAN),

@@ -24,7 +24,10 @@ fn main() {
     let host = generators::barabasi_albert(25, 2, &mut rng);
     let n = host.node_bound();
     let model = TransactionModel::zipf(&host, 1.0, ZipfVariant::Averaged, vec![1.0; n]);
-    let sizes = TxSizeDistribution::TruncatedExp { mean: 1.0, max: 5.0 };
+    let sizes = TxSizeDistribution::TruncatedExp {
+        mean: 1.0,
+        max: 5.0,
+    };
 
     // The hub: highest-degree node, the paper's canonical earner.
     let hub = host
@@ -32,7 +35,10 @@ fn main() {
         .max_by_key(|&v| host.in_degree(v))
         .expect("non-empty");
     let predicted = model.revenue_rates(&host, 0.1);
-    println!("hub = {hub}, analytic E^rev (constant fee 0.1) = {:.4}/unit-time\n", predicted[hub.index()]);
+    println!(
+        "hub = {hub}, analytic E^rev (constant fee 0.1) = {:.4}/unit-time\n",
+        predicted[hub.index()]
+    );
 
     println!(
         "{:<14} {:>10} {:>12} {:>14} {:>16}",
@@ -41,7 +47,10 @@ fn main() {
     for fee_fn in [
         FeeFunction::Constant { fee: 0.1 },
         FeeFunction::Proportional { rate: 0.05 },
-        FeeFunction::Linear { base: 0.02, rate: 0.04 },
+        FeeFunction::Linear {
+            base: 0.02,
+            rate: 0.04,
+        },
     ] {
         let favg = average_fee(&fee_fn, &sizes);
         for capacity in [5.0, 20.0, 100.0, 1e6] {
@@ -58,7 +67,11 @@ fn main() {
                     FeeFunction::Proportional { .. } => "proportional",
                     FeeFunction::Linear { .. } => "linear",
                 },
-                if capacity >= 1e6 { "inf".to_string() } else { format!("{capacity}") },
+                if capacity >= 1e6 {
+                    "inf".to_string()
+                } else {
+                    format!("{capacity}")
+                },
                 report.success_rate(),
                 report.revenue_rate(hub),
                 report.failed_no_path + report.failed_capacity,

@@ -9,9 +9,7 @@
 use lightning_creation_games::equilibria::best_response::run_dynamics;
 use lightning_creation_games::equilibria::game::{Game, GameParams};
 use lightning_creation_games::equilibria::nash::check_equilibrium;
-use lightning_creation_games::equilibria::theorems::{
-    theorem8_conditions, theorem9_sufficient,
-};
+use lightning_creation_games::equilibria::theorems::{theorem8_conditions, theorem9_sufficient};
 use lightning_creation_games::graph::NodeId;
 
 fn describe(game: &Game) -> String {
@@ -65,12 +63,18 @@ fn main() {
     let (n, s, a, b, l) = (5, 3.0, 0.4, 0.4, 0.5);
     let t8 = theorem8_conditions(n, s, a, b, l);
     println!("Thm 8 conditions hold: {}", t8.all_hold());
-    println!("Thm 9 sufficient cond: {}", theorem9_sufficient(n, s, a, b, l));
+    println!(
+        "Thm 9 sufficient cond: {}",
+        theorem9_sufficient(n, s, a, b, l)
+    );
 
     println!("\n== best-response dynamics from the (unstable) path ==");
     let mut game = Game::path(6, params);
     let report = run_dynamics(&mut game, 25);
-    println!("converged: {} after {} rounds", report.converged, report.rounds);
+    println!(
+        "converged: {} after {} rounds",
+        report.converged, report.rounds
+    );
     println!("moves applied:");
     for d in &report.applied {
         println!(

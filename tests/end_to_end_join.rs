@@ -8,7 +8,9 @@ use lightning_creation_games::core::bruteforce::{optimal_discrete, optimal_fixed
 use lightning_creation_games::core::continuous::{continuous_local_search, ContinuousConfig};
 use lightning_creation_games::core::exhaustive::{exhaustive_search, ExhaustiveConfig};
 use lightning_creation_games::core::greedy::greedy_fixed_lock;
-use lightning_creation_games::core::utility::{Objective, RevenueMode, UtilityOracle, UtilityParams};
+use lightning_creation_games::core::utility::{
+    Objective, RevenueMode, UtilityOracle, UtilityParams,
+};
 use lightning_creation_games::core::TransactionModel;
 use lightning_creation_games::graph::generators;
 use lightning_creation_games::sim::engine::simulate;
@@ -55,7 +57,10 @@ fn all_three_algorithms_agree_on_obvious_instances() {
     let hub = lightning_creation_games::graph::NodeId(0);
 
     let g = greedy_fixed_lock(&oracle, 4.0, 1.0);
-    assert!(g.strategy.targets().contains(&hub), "greedy skipped the hub");
+    assert!(
+        g.strategy.targets().contains(&hub),
+        "greedy skipped the hub"
+    );
 
     let e = exhaustive_search(
         &oracle,
@@ -65,10 +70,16 @@ fn all_three_algorithms_agree_on_obvious_instances() {
             max_divisions: None,
         },
     );
-    assert!(e.strategy.targets().contains(&hub), "exhaustive skipped the hub");
+    assert!(
+        e.strategy.targets().contains(&hub),
+        "exhaustive skipped the hub"
+    );
 
     let c = continuous_local_search(&oracle, &ContinuousConfig::with_budget(4.0));
-    assert!(c.strategy.targets().contains(&hub), "continuous skipped the hub");
+    assert!(
+        c.strategy.targets().contains(&hub),
+        "continuous skipped the hub"
+    );
 }
 
 #[test]
