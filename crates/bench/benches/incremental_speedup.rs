@@ -1,0 +1,250 @@
+//! From-scratch vs incremental oracle-style evaluation on 200/500-node
+//! ER and BA hosts — the workload Algorithm 1/2 candidate scoring
+//! actually generates (singleton probes, then probes extending a chosen
+//! base channel).
+//!
+//! Beyond the criterion timings, the bench writes a machine-readable
+//! `BENCH_incremental.json` at the repo root: per host it records the
+//! per-source work both paths did (the affected-source counter vs `n`),
+//! wall-clock totals, and the snapshot build cost. CI smoke-runs this
+//! bench and fails if the JSON is missing or malformed; the committed
+//! copy is the perf trajectory's first data point.
+//!
+//! Hard claim checked here (issue acceptance): on the 500-node BA host
+//! the incremental path performs ≥ 3× fewer source recomputations than
+//! from-scratch Brandes. Every query is also asserted bit-identical
+//! against the from-scratch path before timings are reported.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcg_graph::betweenness::weighted_node_betweenness;
+use lcg_graph::generators::{self, Topology};
+use lcg_graph::incremental::IncrementalBetweenness;
+use lcg_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn pair_weight(s: NodeId, r: NodeId) -> f64 {
+    1.0 + 0.01 * (s.index() % 13) as f64 + 0.001 * (r.index() % 7) as f64
+}
+
+struct HostCase {
+    label: &'static str,
+    topology: &'static str,
+    host: Topology,
+}
+
+fn hosts() -> Vec<HostCase> {
+    let mut rng = StdRng::seed_from_u64(0x1234);
+    vec![
+        HostCase {
+            label: "er_200",
+            topology: "erdos_renyi",
+            host: generators::erdos_renyi(200, 0.05, &mut rng),
+        },
+        HostCase {
+            label: "er_500",
+            topology: "erdos_renyi",
+            host: generators::erdos_renyi(500, 0.02, &mut rng),
+        },
+        HostCase {
+            label: "ba_200",
+            topology: "barabasi_albert",
+            host: generators::barabasi_albert(200, 2, &mut rng),
+        },
+        HostCase {
+            label: "ba_500",
+            topology: "barabasi_albert",
+            host: generators::barabasi_albert(500, 2, &mut rng),
+        },
+    ]
+}
+
+/// The candidate-scoring query mix of one greedy round pair: 12 singleton
+/// probes (`{t}`) then 12 extensions of the first probe (`{t₀, t}`).
+fn query_mix(n: usize) -> Vec<Vec<NodeId>> {
+    let step = (n / 13).max(1);
+    let probes: Vec<NodeId> = (0..12).map(|i| NodeId((1 + i * step) % n)).collect();
+    let mut queries: Vec<Vec<NodeId>> = probes.iter().map(|&t| vec![t]).collect();
+    queries.extend(probes.iter().skip(1).map(|&t| vec![probes[0], t]));
+    queries.push(vec![probes[0], probes[3], probes[7]]);
+    queries
+}
+
+struct CaseReport {
+    label: &'static str,
+    topology: &'static str,
+    n: usize,
+    channels: usize,
+    queries: usize,
+    from_scratch_sources: u64,
+    recomputed_sources: u64,
+    cached_sources: u64,
+    recomputation_factor: f64,
+    snapshot_ms: f64,
+    from_scratch_ms: f64,
+    incremental_ms: f64,
+    speedup: f64,
+}
+
+fn run_case(case: &HostCase) -> CaseReport {
+    let host = &case.host;
+    let n = host.node_count();
+    let queries = query_mix(n);
+
+    let snap_start = Instant::now();
+    let engine = IncrementalBetweenness::new(host, pair_weight);
+    let snapshot_ms = snap_start.elapsed().as_secs_f64() * 1e3;
+
+    // From-scratch leg: full Brandes on each augmented graph.
+    let fs_start = Instant::now();
+    let fs_scores: Vec<f64> = queries
+        .iter()
+        .map(|targets| {
+            let aug = engine.augment(targets);
+            let scores = weighted_node_betweenness(&aug, |s, r| engine.weight(s, r));
+            criterion::black_box(scores[engine.new_node().index()])
+        })
+        .collect();
+    let from_scratch_ms = fs_start.elapsed().as_secs_f64() * 1e3;
+
+    // Incremental leg, bit-checked against the from-scratch answers.
+    engine.reset_stats();
+    let inc_start = Instant::now();
+    let inc_scores: Vec<f64> = queries
+        .iter()
+        .map(|targets| criterion::black_box(engine.new_node_score(targets).0))
+        .collect();
+    let incremental_ms = inc_start.elapsed().as_secs_f64() * 1e3;
+    for (q, (a, b)) in fs_scores.iter().zip(&inc_scores).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{}: query {q} diverged: {a} vs {b}",
+            case.label
+        );
+    }
+
+    let stats = engine.stats();
+    // From-scratch runs one dependency pass per live source plus the new
+    // node; incremental runs only the affected sources.
+    let from_scratch_sources = (queries.len() * (n + 1)) as u64;
+    let recomputation_factor =
+        from_scratch_sources as f64 / (stats.recomputed_sources.max(1)) as f64;
+    CaseReport {
+        label: case.label,
+        topology: case.topology,
+        n,
+        channels: host.edge_count() / 2,
+        queries: queries.len(),
+        from_scratch_sources,
+        recomputed_sources: stats.recomputed_sources,
+        cached_sources: stats.cached_sources,
+        recomputation_factor,
+        snapshot_ms,
+        from_scratch_ms,
+        incremental_ms,
+        speedup: from_scratch_ms / incremental_ms.max(1e-9),
+    }
+}
+
+fn json_for(reports: &[CaseReport]) -> String {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"incremental_speedup\",\n");
+    out.push_str(&format!("  \"hardware_threads\": {hw},\n"));
+    out.push_str("  \"acceptance\": {\"host\": \"ba_500\", \"min_recomputation_factor\": 3.0},\n");
+    out.push_str("  \"hosts\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"topology\": \"{}\", \"n\": {}, \"channels\": {}, ",
+                "\"queries\": {}, \"from_scratch_sources\": {}, \"recomputed_sources\": {}, ",
+                "\"cached_sources\": {}, \"recomputation_factor\": {:.2}, ",
+                "\"snapshot_ms\": {:.3}, \"from_scratch_ms\": {:.3}, ",
+                "\"incremental_ms\": {:.3}, \"wall_clock_speedup\": {:.2}}}{}\n"
+            ),
+            r.label,
+            r.topology,
+            r.n,
+            r.channels,
+            r.queries,
+            r.from_scratch_sources,
+            r.recomputed_sources,
+            r.cached_sources,
+            r.recomputation_factor,
+            r.snapshot_ms,
+            r.from_scratch_ms,
+            r.incremental_ms,
+            r.speedup,
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn bench_incremental_speedup(c: &mut Criterion) {
+    let cases = hosts();
+    let reports: Vec<CaseReport> = cases.iter().map(run_case).collect();
+
+    for r in &reports {
+        println!(
+            "incremental: {} n={} queries={} sources {} -> {} ({:.1}x fewer), wall {:.1}ms -> {:.1}ms ({:.1}x, snapshot {:.1}ms)",
+            r.label,
+            r.n,
+            r.queries,
+            r.from_scratch_sources,
+            r.recomputed_sources,
+            r.recomputation_factor,
+            r.from_scratch_ms,
+            r.incremental_ms,
+            r.speedup,
+            r.snapshot_ms,
+        );
+    }
+
+    let ba500 = reports
+        .iter()
+        .find(|r| r.label == "ba_500")
+        .expect("ba_500 case present");
+    assert!(
+        ba500.recomputation_factor >= 3.0,
+        "acceptance: BA-500 must recompute >= 3x fewer sources, got {:.2}x",
+        ba500.recomputation_factor
+    );
+
+    let json = json_for(&reports);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    std::fs::write(path, &json).expect("write BENCH_incremental.json");
+    println!("bench: wrote {path}");
+
+    // Criterion timings on one representative 2-channel query per host.
+    let mut group = c.benchmark_group("incremental_speedup");
+    group.sample_size(10);
+    for case in &cases {
+        let n = case.host.node_count();
+        let engine = IncrementalBetweenness::new(&case.host, pair_weight);
+        let step = (n / 13).max(1);
+        let targets = vec![NodeId(1), NodeId((1 + 5 * step) % n)];
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch", case.label),
+            &targets,
+            |b, t| {
+                b.iter(|| {
+                    let aug = engine.augment(t);
+                    weighted_node_betweenness(&aug, |s, r| engine.weight(s, r))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental", case.label),
+            &targets,
+            |b, t| b.iter(|| engine.new_node_score(t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_speedup);
+criterion_main!(benches);

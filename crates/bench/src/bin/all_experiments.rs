@@ -1,6 +1,69 @@
-//! Runs every experiment E1–E12 and prints a final summary; exit code 0
+//! Runs every experiment E1–E13 and prints a final summary; exit code 0
 //! iff all shape verdicts passed.
+//!
+//! With `--update-md <path>` it additionally rewrites the block between
+//! the `GENERATED RESULTS` markers in the given markdown file (normally
+//! `EXPERIMENTS.md`) with the freshly measured tables and verdicts, so
+//! the committed data stays regenerable by one command.
+
+const BEGIN_MARK: &str = "<!-- BEGIN GENERATED RESULTS (all_experiments) -->";
+const END_MARK: &str = "<!-- END GENERATED RESULTS (all_experiments) -->";
+
+fn generated_section(reports: &[lcg_bench::report::ExperimentReport]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "_This section is generated — edit nothing inside the markers.\n\
+         Regenerate with `cargo run --release -p lcg-bench --bin all_experiments -- \
+         --update-md EXPERIMENTS.md`._\n\n",
+    );
+    out.push_str("| id | experiment | verdicts | status |\n| --- | --- | --- | --- |\n");
+    for r in reports {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            r.id,
+            r.title,
+            r.verdicts.len(),
+            if r.all_passed() { "PASS" } else { "FAIL" }
+        ));
+    }
+    for r in reports {
+        out.push('\n');
+        out.push_str(&r.to_markdown());
+    }
+    out
+}
+
+fn update_md(path: &str, reports: &[lcg_bench::report::ExperimentReport]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--update-md: cannot read {path}: {e}"));
+    let begin = text
+        .find(BEGIN_MARK)
+        .unwrap_or_else(|| panic!("--update-md: {path} lacks the marker {BEGIN_MARK:?}"));
+    let end = text
+        .find(END_MARK)
+        .unwrap_or_else(|| panic!("--update-md: {path} lacks the marker {END_MARK:?}"));
+    assert!(begin < end, "--update-md: markers out of order in {path}");
+    let mut next = String::with_capacity(text.len());
+    next.push_str(&text[..begin + BEGIN_MARK.len()]);
+    next.push_str("\n\n");
+    next.push_str(&generated_section(reports));
+    next.push('\n');
+    next.push_str(&text[end..]);
+    std::fs::write(path, next).unwrap_or_else(|e| panic!("--update-md: cannot write {path}: {e}"));
+    println!("updated generated section of {path}");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let md_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--update-md" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: all_experiments [--update-md <path>]");
+            std::process::exit(2);
+        }
+    };
+
     let reports = lcg_bench::experiments::all();
     let mut failed = 0;
     for r in &reports {
@@ -18,6 +81,9 @@ fn main() {
             r.title,
             if ok { "PASS" } else { "FAIL" }
         );
+    }
+    if let Some(path) = md_path {
+        update_md(&path, &reports);
     }
     std::process::exit(if failed == 0 { 0 } else { 1 });
 }

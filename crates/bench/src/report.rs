@@ -61,6 +61,24 @@ impl Table {
         }
         out
     }
+
+    /// Renders as a GitHub-flavoured markdown table (no padding; renderers
+    /// align, and unpadded cells keep the committed diffs minimal).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str(" --- |");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
 }
 
 impl fmt::Display for Table {
@@ -158,6 +176,24 @@ impl ExperimentReport {
     pub fn all_passed(&self) -> bool {
         self.verdicts.iter().all(|v| v.passed)
     }
+
+    /// Renders the report as a markdown fragment — the unit from which
+    /// the generated results section of `EXPERIMENTS.md` is assembled.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n", self.id, self.title);
+        for (name, table) in &self.tables {
+            out.push_str(&format!("\n**{name}**\n\n"));
+            out.push_str(&table.to_markdown());
+        }
+        if !self.verdicts.is_empty() {
+            out.push('\n');
+            for v in &self.verdicts {
+                let mark = if v.passed { "PASS" } else { "FAIL" };
+                out.push_str(&format!("- **{mark}** {} — {}\n", v.claim, v.details));
+            }
+        }
+        out
+    }
 }
 
 impl fmt::Display for ExperimentReport {
@@ -225,6 +261,20 @@ mod tests {
         assert!(s.contains("[PASS]"));
         r.add_verdict(Verdict::new("claim2", false, "bad"));
         assert!(!r.all_passed());
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut r = ExperimentReport::new("E0", "smoke");
+        let mut t = Table::new(["n", "value"]);
+        t.push_row(["3", "1.5"]);
+        r.add_table("data", t);
+        r.add_verdict(Verdict::new("claim", true, "ok"));
+        let md = r.to_markdown();
+        assert!(md.starts_with("### E0 — smoke\n"));
+        assert!(md.contains("**data**"));
+        assert!(md.contains("| n | value |\n| --- | --- |\n| 3 | 1.5 |\n"));
+        assert!(md.contains("- **PASS** claim — ok"));
     }
 
     #[test]

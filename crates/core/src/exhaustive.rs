@@ -129,8 +129,11 @@ pub struct ExhaustiveResult {
     pub simplified_utility: f64,
     /// Number of divisions explored.
     pub divisions_explored: u64,
-    /// Oracle evaluations spent in total.
+    /// Oracle evaluations spent in total (cache hits included).
     pub evaluations: u64,
+    /// Of those, evaluations answered from the oracle's strategy memo —
+    /// adjacent divisions share greedy prefixes, so this climbs fast.
+    pub cache_hits: u64,
     /// The division (in units of `m`, including the unlocked part) that
     /// produced the best strategy.
     pub best_division: Vec<u64>,
@@ -175,6 +178,7 @@ pub fn exhaustive_search(oracle: &UtilityOracle, config: ExhaustiveConfig) -> Ex
         oracle.candidates().len()
     };
     let start_evals = oracle.evaluation_count();
+    let start_hits = oracle.cache_stats().hits;
 
     // One division → its lock-constrained greedy result (or None when the
     // division is infeasible). Pure per division, so batches of divisions
@@ -248,6 +252,7 @@ pub fn exhaustive_search(oracle: &UtilityOracle, config: ExhaustiveConfig) -> Ex
         simplified_utility,
         divisions_explored: explored,
         evaluations: oracle.evaluation_count() - start_evals,
+        cache_hits: oracle.cache_stats().hits - start_hits,
         best_division,
     }
 }

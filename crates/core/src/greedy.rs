@@ -25,8 +25,11 @@ pub struct GreedyResult {
     /// `U'` of every greedy prefix, index `k` = first `k` channels (the
     /// paper's `PU` array; index 0 is the empty strategy, `−∞`).
     pub prefix_utilities: Vec<f64>,
-    /// Oracle evaluations spent (the paper's λ-estimation count).
+    /// Oracle evaluations spent (the paper's λ-estimation count; cache
+    /// hits included — this counts *calls*).
     pub evaluations: u64,
+    /// Of those, evaluations answered from the oracle's strategy memo.
+    pub cache_hits: u64,
 }
 
 /// Algorithm 1: greedily pick up to `M = ⌊B_u/(C+l₁)⌋` channels of fixed
@@ -70,6 +73,7 @@ pub fn greedy_fixed_lock(oracle: &UtilityOracle, budget: f64, lock: f64) -> Gree
 /// returns the prefix with the best `U'`.
 pub fn greedy_with_locks(oracle: &UtilityOracle, locks: &[f64]) -> GreedyResult {
     let start_evals = oracle.evaluation_count();
+    let start_hits = oracle.cache_stats().hits;
     let mut available: Vec<NodeId> = oracle.candidates();
     let mut current = Strategy::empty();
     let mut current_value = f64::NEG_INFINITY; // U' of empty strategy
@@ -120,6 +124,7 @@ pub fn greedy_with_locks(oracle: &UtilityOracle, locks: &[f64]) -> GreedyResult 
         simplified_utility: best_value,
         prefix_utilities,
         evaluations: oracle.evaluation_count() - start_evals,
+        cache_hits: oracle.cache_stats().hits - start_hits,
     }
 }
 

@@ -54,6 +54,7 @@ pub fn lazy_greedy_fixed_lock(oracle: &UtilityOracle, budget: f64, lock: f64) ->
     assert!(budget >= 0.0 && !budget.is_nan(), "budget must be >= 0");
     assert!(lock >= 0.0 && !lock.is_nan(), "lock must be >= 0");
     let start_evals = oracle.evaluation_count();
+    let start_hits = oracle.cache_stats().hits;
     let per_channel = oracle.params().cost.onchain_fee + lock;
     let max_channels = if per_channel <= 0.0 {
         oracle.candidates().len()
@@ -138,6 +139,7 @@ pub fn lazy_greedy_fixed_lock(oracle: &UtilityOracle, budget: f64, lock: f64) ->
         simplified_utility: best_value,
         prefix_utilities,
         evaluations: oracle.evaluation_count() - start_evals,
+        cache_hits: oracle.cache_stats().hits - start_hits,
     }
 }
 

@@ -22,6 +22,9 @@
 //!   non-monotone submodular local search (§III-D, after Lee et al.).
 //! * [`lazy`] — Minoux's lazy greedy: identical selections to
 //!   Algorithm 1 under the submodular mode, far fewer evaluations.
+//! * [`eval_cache`] — strategy-keyed memoization of oracle evaluations,
+//!   backing the oracle's delta-aware fast path (affected-source pruning
+//!   via `lcg_graph::incremental`) with hit/miss instrumentation.
 //! * [`estimation`] — recovering `N`, `N_u` and the Zipf `s` from
 //!   observed transaction streams (the paper's future-work item 3).
 //! * [`bruteforce`] — exact optimizers used as experiment baselines.
@@ -47,6 +50,7 @@
 pub mod bruteforce;
 pub mod continuous;
 pub mod estimation;
+pub mod eval_cache;
 pub mod exhaustive;
 pub mod greedy;
 pub mod lazy;

@@ -39,14 +39,17 @@
 //!   revenue, not just to cost, and gives Algorithms 2–3 a non-trivial
 //!   capital-allocation problem.
 
+use crate::eval_cache::{strategy_key, EvalCache, EvalCacheStats};
 use crate::rates::TransactionModel;
-use crate::strategy::Strategy;
+use crate::strategy::{Action, Strategy};
 use crate::zipf::{self, ZipfVariant};
 use lcg_graph::bfs;
+use lcg_graph::incremental::{IncrementalBetweenness, IncrementalStats};
 use lcg_graph::{DiGraph, NodeId};
 use lcg_sim::onchain::CostModel;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Host topology type: unit payloads, two directed edges per channel.
 pub type Topology = DiGraph<(), ()>;
@@ -188,7 +191,28 @@ pub struct UtilityOracle {
     /// `ρ(v)` per host node: fixed per-channel capture rates for
     /// [`RevenueMode::FixedPerChannel`] (computed lazily on first use).
     fixed_channel_rates: std::sync::OnceLock<Vec<f64>>,
+    /// Delta-aware betweenness over the host, built on the first
+    /// [`RevenueMode::Intermediary`] evaluation: answers the new node's
+    /// score by recomputing only affected sources, bit-identical to the
+    /// from-scratch Brandes path.
+    incremental: OnceLock<IncrementalBetweenness>,
+    /// Strategy-keyed memo of full evaluations (`U`, `U'`, `U^b`).
+    cache: EvalCache,
     evaluations: AtomicU64,
+}
+
+/// Combined instrumentation of one oracle: call counts, memo behaviour and
+/// the incremental engine's pruning effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OracleStats {
+    /// Strategy evaluations requested (cache hits included — the paper's
+    /// complexity unit counts *calls*, not recomputations).
+    pub evaluations: u64,
+    /// Evaluation-memo counters.
+    pub cache: EvalCacheStats,
+    /// Incremental-betweenness counters; `None` until the first
+    /// [`RevenueMode::Intermediary`] evaluation builds the engine.
+    pub incremental: Option<IncrementalStats>,
 }
 
 impl UtilityOracle {
@@ -213,6 +237,8 @@ impl UtilityOracle {
             model,
             p_out,
             fixed_channel_rates: std::sync::OnceLock::new(),
+            incremental: OnceLock::new(),
+            cache: EvalCache::default(),
             evaluations: AtomicU64::new(0),
         }
     }
@@ -241,6 +267,8 @@ impl UtilityOracle {
             model,
             p_out,
             fixed_channel_rates: std::sync::OnceLock::new(),
+            incremental: OnceLock::new(),
+            cache: EvalCache::default(),
             evaluations: AtomicU64::new(0),
         }
     }
@@ -284,6 +312,53 @@ impl UtilityOracle {
     /// Resets the evaluation counter.
     pub fn reset_evaluation_count(&self) {
         self.evaluations.store(0, Ordering::Relaxed);
+    }
+
+    /// Evaluation-memo counters (hits, misses, resident entries).
+    pub fn cache_stats(&self) -> EvalCacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops the evaluation memo and zeroes its counters. The incremental
+    /// snapshot is untouched — it depends only on the immutable host.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Incremental-betweenness counters, once the engine exists.
+    pub fn incremental_stats(&self) -> Option<IncrementalStats> {
+        self.incremental.get().map(|engine| engine.stats())
+    }
+
+    /// Combined instrumentation snapshot.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            evaluations: self.evaluation_count(),
+            cache: self.cache_stats(),
+            incremental: self.incremental_stats(),
+        }
+    }
+
+    /// The delta-aware betweenness engine over the host, built once on
+    /// first use (one BFS per host source plus the pair-weight matrix).
+    fn incremental_engine(&self) -> &IncrementalBetweenness {
+        self.incremental.get_or_init(|| {
+            IncrementalBetweenness::new(&self.host, |s, r| {
+                self.model.pair_rate(s, r) * self.params.favg
+            })
+        })
+    }
+
+    /// Host endpoints of the strategy's *usable* channels, in action order
+    /// — exactly the channels [`UtilityOracle::augmented`] materializes.
+    fn usable_targets(&self, strategy: &Strategy) -> Vec<NodeId> {
+        strategy
+            .iter()
+            .filter(|a| {
+                a.lock + 1e-9 >= self.params.min_usable_lock && self.host.contains_node(a.target)
+            })
+            .map(|a| a.target)
+            .collect()
     }
 
     /// The host graph with the joining user and its usable channels added.
@@ -351,8 +426,12 @@ impl UtilityOracle {
         let u = self.new_node();
         match self.params.revenue_mode {
             RevenueMode::Intermediary => {
-                let scores = self.model.revenue_rates(g, self.params.favg);
-                scores.get(u.index()).copied().unwrap_or(0.0)
+                // Delta path: only the sources whose shortest paths the new
+                // node can change are recomputed; bit-identical to
+                // `self.model.revenue_rates(g, favg)[u]` by construction.
+                let targets = self.usable_targets(strategy);
+                let (score, _) = self.incremental_engine().new_node_score_on(g, &targets);
+                score
             }
             RevenueMode::IncidentEdges => {
                 let scores = self.model.incident_rate_revenue(g, self.params.favg);
@@ -376,6 +455,10 @@ impl UtilityOracle {
     /// `E^fees = +∞` and `U = −∞`, per the paper's convention.
     pub fn evaluate(&self, strategy: &Strategy) -> UtilityBreakdown {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let key = strategy_key(strategy);
+        if let Some(hit) = self.cache.get(&key) {
+            return hit;
+        }
         let channel_cost: f64 = strategy
             .iter()
             .map(|a| self.params.cost.channel_cost(a.lock))
@@ -386,14 +469,23 @@ impl UtilityOracle {
         let simplified = revenue - expected_fees;
         let utility = simplified - channel_cost;
         let cu = self.params.cost.all_onchain_cost(self.params.new_user_rate);
-        UtilityBreakdown {
+        let breakdown = UtilityBreakdown {
             revenue,
             expected_fees,
             channel_cost,
             utility,
             simplified,
             benefit: cu + utility,
-        }
+        };
+        self.cache.insert(key, breakdown);
+        breakdown
+    }
+
+    /// Marginal simplified gain `U'(base + action) − U'(base)` — the
+    /// quantity Algorithms 1–2 and the lazy heap compare. Both endpoints
+    /// go through the evaluation memo, so re-examined marginals are free.
+    pub fn marginal_simplified_gain(&self, base: &Strategy, action: Action) -> f64 {
+        self.evaluate(&base.with(action)).simplified - self.evaluate(base).simplified
     }
 
     /// Shorthand: full utility `U_uS`.

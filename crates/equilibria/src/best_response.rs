@@ -9,7 +9,7 @@
 //! discover which topologies the game actually converges to.
 
 use crate::game::Game;
-use crate::nash::{best_deviation, Deviation};
+use crate::nash::{best_deviation_cached, Deviation, DeviationCache};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of running best-response dynamics.
@@ -23,6 +23,10 @@ pub struct DynamicsReport {
     pub applied: Vec<Deviation>,
     /// Deviations evaluated in total.
     pub explored: u64,
+    /// Utility lookups answered from the shared deviation cache. Rounds
+    /// near convergence re-explore mostly unchanged states, so this
+    /// approaches `explored` as the dynamics settle.
+    pub cache_hits: u64,
 }
 
 /// Runs best-response dynamics in place, mutating `game` toward a stable
@@ -47,13 +51,25 @@ pub struct DynamicsReport {
 /// assert!(report.converged);
 /// ```
 pub fn run_dynamics(game: &mut Game, max_rounds: usize) -> DynamicsReport {
+    run_dynamics_cached(game, max_rounds, &DeviationCache::new())
+}
+
+/// [`run_dynamics`] against a caller-owned [`DeviationCache`], letting a
+/// subsequent `check_equilibrium_cached` (or further dynamics on the same
+/// game) reuse every utility this run computed.
+pub fn run_dynamics_cached(
+    game: &mut Game,
+    max_rounds: usize,
+    cache: &DeviationCache,
+) -> DynamicsReport {
+    let start_hits = cache.stats().hits;
     let mut applied = Vec::new();
     let mut explored = 0;
     for round in 1..=max_rounds {
         let mut any = false;
         let players: Vec<_> = game.graph().node_ids().collect();
         for player in players {
-            if let Some(dev) = best_deviation(game, player, &mut explored) {
+            if let Some(dev) = best_deviation_cached(game, player, &mut explored, cache) {
                 *game = game.deviate(player, &dev.remove, &dev.add);
                 applied.push(dev);
                 any = true;
@@ -65,6 +81,7 @@ pub fn run_dynamics(game: &mut Game, max_rounds: usize) -> DynamicsReport {
                 rounds: round,
                 applied,
                 explored,
+                cache_hits: cache.stats().hits - start_hits,
             };
         }
     }
@@ -73,6 +90,7 @@ pub fn run_dynamics(game: &mut Game, max_rounds: usize) -> DynamicsReport {
         rounds: max_rounds,
         applied,
         explored,
+        cache_hits: cache.stats().hits - start_hits,
     }
 }
 

@@ -251,6 +251,30 @@ impl Game {
         self.params.a * total
     }
 
+    /// Canonical fingerprint of the state: every undirected channel as
+    /// `(min endpoint, max endpoint, owner)` — `u32::MAX` for ownerless
+    /// channels — sorted. Two games over the same player set and params
+    /// are strategically identical iff their fingerprints are equal, which
+    /// is what the deviation cache keys on.
+    pub fn canonical_channels(&self) -> Vec<(u32, u32, u32)> {
+        let mut out: Vec<(u32, u32, u32)> = self
+            .graph
+            .edges()
+            .filter(|(_, s, d, _)| s.index() < d.index())
+            .map(|(e, s, d, _)| {
+                let owner = self
+                    .owner
+                    .get(e.index())
+                    .copied()
+                    .flatten()
+                    .map_or(u32::MAX, |o| o.index() as u32);
+                (s.index() as u32, d.index() as u32, owner)
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Applies a deviation of `player` — removing some owned channels and
     /// creating new ones — returning the deviated game (the original is
     /// untouched).

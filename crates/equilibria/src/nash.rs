@@ -10,8 +10,12 @@
 //! (Thm 2 of \[19\]) predicts — so intended for the small `n` of §IV.
 
 use crate::game::Game;
+use lcg_core::eval_cache::EvalCacheStats;
 use lcg_graph::NodeId;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A profitable unilateral deviation found by the checker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,6 +48,93 @@ pub struct NashReport {
     pub deviations: Vec<Deviation>,
     /// Deviations evaluated in total.
     pub explored: u64,
+    /// Utility lookups answered from the deviation cache (non-zero when
+    /// the caller shares a cache across checks, e.g. after dynamics).
+    pub cache_hits: u64,
+}
+
+/// Memo from `(player, game state)` to utility, shared across deviation
+/// enumerations. The same states recur constantly — best-response rounds
+/// re-explore every non-moving player's neighborhood, and a converged
+/// run's final round repeats the previous one verbatim — so the memo
+/// turns those repeats into hash lookups. Thread-safe: the parallel
+/// per-player checks share one cache by reference.
+///
+/// A cache is only valid for games over one player set and one
+/// [`GameParams`](crate::game::GameParams); sharing it across different
+/// games returns stale utilities.
+///
+/// Keys are `(player id, canonical channel list)` state fingerprints.
+#[derive(Debug)]
+pub struct DeviationCache {
+    map: Mutex<HashMap<StateKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+/// `(player id, canonical channel list)` — a game-state fingerprint.
+type StateKey = (u32, Vec<(u32, u32, u32)>);
+
+impl Default for DeviationCache {
+    fn default() -> Self {
+        DeviationCache::with_capacity(1 << 18)
+    }
+}
+
+impl DeviationCache {
+    /// An empty cache (default capacity bound).
+    pub fn new() -> Self {
+        DeviationCache::default()
+    }
+
+    /// An empty cache bounded to `capacity` resident states.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DeviationCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// `player`'s utility in `game`, memoized on the state fingerprint.
+    pub fn utility_of(&self, game: &Game, player: NodeId) -> f64 {
+        let key = (player.index() as u32, game.canonical_channels());
+        let found = self
+            .map
+            .lock()
+            .expect("deviation cache poisoned")
+            .get(&key)
+            .copied();
+        if let Some(value) = found {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return value;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = game.utility(player);
+        let mut map = self.map.lock().expect("deviation cache poisoned");
+        if map.len() < self.capacity || map.contains_key(&key) {
+            map.insert(key, value);
+        }
+        value
+    }
+
+    /// Current counters (entries = resident states).
+    pub fn stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("deviation cache poisoned").len(),
+        }
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("deviation cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Tolerance below which a utility change does not count as profitable
@@ -71,7 +162,20 @@ fn subsets<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
 /// with fresh ownership is equivalent to not removing, so they are
 /// excluded). Runs `2^(owned) · 2^(candidates)` utility evaluations.
 pub fn best_deviation(game: &Game, player: NodeId, explored: &mut u64) -> Option<Deviation> {
-    let before = game.utility(player);
+    best_deviation_cached(game, player, explored, &DeviationCache::new())
+}
+
+/// [`best_deviation`] with utilities routed through a caller-owned
+/// [`DeviationCache`], so repeated explorations of the same states (e.g.
+/// across best-response rounds) cost a hash lookup instead of a Brandes
+/// recomputation.
+pub fn best_deviation_cached(
+    game: &Game,
+    player: NodeId,
+    explored: &mut u64,
+    cache: &DeviationCache,
+) -> Option<Deviation> {
+    let before = cache.utility_of(game, player);
     let owned = game.owned_channels(player);
     let neighbors = game.graph().neighbors(player);
     let addable: Vec<NodeId> = game
@@ -88,7 +192,7 @@ pub fn best_deviation(game: &Game, player: NodeId, explored: &mut u64) -> Option
             }
             *explored += 1;
             let deviated = game.deviate(player, &remove, &add);
-            let after = deviated.utility(player);
+            let after = cache.utility_of(&deviated, player);
             let improves = if before == f64::NEG_INFINITY {
                 after > f64::NEG_INFINITY
             } else {
@@ -128,14 +232,25 @@ pub fn best_deviation(game: &Game, player: NodeId, explored: &mut u64) -> Option
 /// assert!(report.is_equilibrium);
 /// ```
 pub fn check_equilibrium(game: &Game) -> NashReport {
+    check_equilibrium_cached(game, &DeviationCache::new())
+}
+
+/// [`check_equilibrium`] against a caller-owned [`DeviationCache`]. Within
+/// a single check every `(player, state)` pair is distinct, so the payoff
+/// comes from *sharing*: a check right after converged dynamics re-walks
+/// states the dynamics just explored and answers them from the memo.
+pub fn check_equilibrium_cached(game: &Game, cache: &DeviationCache) -> NashReport {
     // Players deviate independently of one another, so each player's
     // exponential enumeration fans out to its own core when the `parallel`
     // feature is on. Results come back in player order and are folded
-    // sequentially, so the report is identical at any thread count.
+    // sequentially, so the report is identical at any thread count (cached
+    // utilities are bit-identical to recomputed ones — the game is
+    // deterministic — so the shared memo cannot perturb the fold either).
+    let start_hits = cache.stats().hits;
     let players: Vec<NodeId> = game.graph().node_ids().collect();
     let check_player = |&player: &NodeId| {
         let mut explored = 0u64;
-        let dev = best_deviation(game, player, &mut explored);
+        let dev = best_deviation_cached(game, player, &mut explored, cache);
         (dev, explored)
     };
     #[cfg(feature = "parallel")]
@@ -155,6 +270,7 @@ pub fn check_equilibrium(game: &Game) -> NashReport {
         is_equilibrium: deviations.is_empty(),
         deviations,
         explored,
+        cache_hits: cache.stats().hits - start_hits,
     }
 }
 

@@ -20,7 +20,7 @@
 //! hop metrics — exponentially faster than enumerating the `m(s,r)` paths,
 //! which this module also provides (brute force) for cross-validation.
 
-use crate::bfs::bfs;
+use crate::bfs::{bfs, BfsTree};
 use crate::graph::{DiGraph, EdgeId, NodeId};
 
 /// Per-edge scores indexed by `EdgeId::index()`; removed edges hold `0.0`.
@@ -35,7 +35,11 @@ pub type NodeScores = Vec<f64>;
 /// whether the chunks run on one thread (`LCG_THREADS=1`, the
 /// `force-sequential` feature of `lcg-parallel`, or the `parallel`
 /// feature of this crate disabled) or on all cores.
-const SOURCE_CHUNK: usize = 8;
+///
+/// Public because [`crate::incremental`] must replicate the exact same
+/// chunk boundaries to keep its cached-plus-recomputed reduction
+/// bit-identical to the from-scratch path.
+pub const SOURCE_CHUNK: usize = 8;
 
 /// Runs `kernel` over every chunk of `sources` — in parallel when the
 /// `parallel` feature is enabled — and sums the partial vectors in
@@ -135,21 +139,7 @@ where
         let mut delta = vec![0.0; g.node_bound()];
         for &s in chunk {
             let tree = bfs(g, s);
-            for d in delta.iter_mut() {
-                *d = 0.0;
-            }
-            for &w_node in tree.order.iter().rev() {
-                if w_node == s {
-                    continue;
-                }
-                let target_weight = weight(s, w_node);
-                let coeff = (target_weight + delta[w_node.index()]) / tree.sigma[w_node.index()];
-                for &e in &tree.pred_edges[w_node.index()] {
-                    let (v, _) = g.edge_endpoints(e).expect("pred edge is live");
-                    let contribution = tree.sigma[v.index()] * coeff;
-                    delta[v.index()] += contribution;
-                }
-            }
+            node_dependencies(g, &tree, &weight, &mut delta);
             for v in g.node_ids() {
                 if v != s {
                     scores[v.index()] += delta[v.index()];
@@ -157,6 +147,42 @@ where
             }
         }
     })
+}
+
+/// One source's Brandes dependency accumulation (node form): overwrites
+/// `delta` with, for every node `v`, the total weighted fraction of
+/// shortest paths from `tree.source` that pass through `v` as an
+/// intermediary (`delta[source]` holds the source's own dependency and is
+/// ignored by callers).
+///
+/// This is the exact inner loop of [`weighted_node_betweenness`], exposed
+/// so the incremental engine ([`crate::incremental`]) recomputes affected
+/// sources with *identical* floating-point operations — the foundation of
+/// its bit-identity guarantee.
+///
+/// # Panics
+///
+/// Panics (in debug builds via indexing) if `delta.len() < g.node_bound()`
+/// or `tree` was not produced by [`bfs`] on `g`.
+pub fn node_dependencies<N, E, W>(g: &DiGraph<N, E>, tree: &BfsTree, weight: &W, delta: &mut [f64])
+where
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    for d in delta.iter_mut() {
+        *d = 0.0;
+    }
+    for &w_node in tree.order.iter().rev() {
+        if w_node == tree.source {
+            continue;
+        }
+        let target_weight = weight(tree.source, w_node);
+        let coeff = (target_weight + delta[w_node.index()]) / tree.sigma[w_node.index()];
+        for &e in &tree.pred_edges[w_node.index()] {
+            let (v, _) = g.edge_endpoints(e).expect("pred edge is live");
+            let contribution = tree.sigma[v.index()] * coeff;
+            delta[v.index()] += contribution;
+        }
+    }
 }
 
 /// Classic directed node betweenness (`weight ≡ 1`), endpoints excluded.

@@ -16,6 +16,9 @@
 //! * [`betweenness`] — Brandes edge/node betweenness with per-pair weights,
 //!   the exact quantity in the paper's Eq. 2 (`p_e`) and the Section IV
 //!   revenue formula; plus a brute-force reference implementation.
+//! * [`incremental`] — delta-aware betweenness for `host + {u, channels(u)}`
+//!   augmentations: snapshots per-source BFS trees once and recomputes only
+//!   affected sources, bit-identical to the from-scratch path.
 //! * [`metrics`] — clustering, path lengths and degree statistics for
 //!   reporting on emergent topologies.
 //! * [`generators`] — star/path/circle/complete topologies of §IV and the
@@ -39,6 +42,7 @@ pub mod bfs;
 pub mod dijkstra;
 pub mod generators;
 pub mod graph;
+pub mod incremental;
 pub mod metrics;
 
 pub use graph::{DiGraph, EdgeId, NodeId};
