@@ -9,7 +9,7 @@
 //! discover which topologies the game actually converges to.
 
 use crate::game::Game;
-use crate::nash::{best_deviation_cached, Deviation, DeviationCache};
+use crate::nash::{best_deviation_with, Deviation, DeviationCache, DeviationSearch, EvalContext};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of running best-response dynamics.
@@ -21,8 +21,20 @@ pub struct DynamicsReport {
     pub rounds: usize,
     /// Deviations actually applied, in order.
     pub applied: Vec<Deviation>,
-    /// Deviations evaluated in total.
+    /// Deviations actually evaluated.
     pub explored: u64,
+    /// Candidates skipped wholesale by the admissible utility upper bound
+    /// (see [`NashReport::bound_pruned`](crate::nash::NashReport)).
+    #[serde(default)]
+    pub bound_pruned: u64,
+    /// Brandes source recomputations paid for cache-miss utility
+    /// evaluations.
+    #[serde(default)]
+    pub sources_recomputed: u64,
+    /// Sources that reused their cached BFS tree and only re-ran the
+    /// dependency kernel under a changed Zipf row.
+    #[serde(default)]
+    pub sources_reweighted: u64,
     /// Utility lookups answered from the shared deviation cache. Rounds
     /// near convergence re-explore mostly unchanged states, so this
     /// approaches `explored` as the dynamics settle.
@@ -62,17 +74,44 @@ pub fn run_dynamics_cached(
     max_rounds: usize,
     cache: &DeviationCache,
 ) -> DynamicsReport {
+    run_dynamics_with(game, max_rounds, cache, DeviationSearch::default())
+}
+
+/// [`run_dynamics_cached`] under explicit [`DeviationSearch`] knobs.
+///
+/// The incremental [`EvalContext`] snapshot is rebuilt lazily: it survives
+/// across players (and rounds) for as long as nobody moves, and is
+/// re-snapshotted only after an applied deviation changes the state.
+pub fn run_dynamics_with(
+    game: &mut Game,
+    max_rounds: usize,
+    cache: &DeviationCache,
+    search: DeviationSearch,
+) -> DynamicsReport {
     let start_hits = cache.stats().hits;
     let mut applied = Vec::new();
     let mut explored = 0;
+    let mut bound_pruned = 0;
+    let mut sources_recomputed = 0;
+    let mut sources_reweighted = 0;
+    let mut ctx: Option<EvalContext> = None;
     for round in 1..=max_rounds {
         let mut any = false;
         let players: Vec<_> = game.graph().node_ids().collect();
         for player in players {
-            if let Some(dev) = best_deviation_cached(game, player, &mut explored, cache) {
+            if search.incremental && ctx.is_none() {
+                ctx = Some(EvalContext::new(game, &search));
+            }
+            let (dev, stats) = best_deviation_with(game, player, cache, search, ctx.as_ref());
+            explored += stats.explored;
+            bound_pruned += stats.bound_pruned;
+            sources_recomputed += stats.sources_recomputed;
+            sources_reweighted += stats.sources_reweighted;
+            if let Some(dev) = dev {
                 *game = game.deviate(player, &dev.remove, &dev.add);
                 applied.push(dev);
                 any = true;
+                ctx = None;
             }
         }
         if !any {
@@ -81,6 +120,9 @@ pub fn run_dynamics_cached(
                 rounds: round,
                 applied,
                 explored,
+                bound_pruned,
+                sources_recomputed,
+                sources_reweighted,
                 cache_hits: cache.stats().hits - start_hits,
             };
         }
@@ -90,6 +132,9 @@ pub fn run_dynamics_cached(
         rounds: max_rounds,
         applied,
         explored,
+        bound_pruned,
+        sources_recomputed,
+        sources_reweighted,
         cache_hits: cache.stats().hits - start_hits,
     }
 }
@@ -149,5 +194,38 @@ mod tests {
         let mut game = Game::circle(7, params);
         let report = run_dynamics(&mut game, 2);
         assert!(report.rounds <= 2);
+    }
+
+    #[test]
+    fn search_configurations_apply_identical_trajectories() {
+        let params = GameParams {
+            zipf_s: 3.0,
+            a: 0.2,
+            b: 0.2,
+            link_cost: 1.0,
+            ..GameParams::default()
+        };
+        let mut accelerated = Game::path(4, params);
+        let mut reference = Game::path(4, params);
+        let fast = run_dynamics_with(
+            &mut accelerated,
+            15,
+            &DeviationCache::new(),
+            DeviationSearch::default(),
+        );
+        let slow = run_dynamics_with(
+            &mut reference,
+            15,
+            &DeviationCache::new(),
+            DeviationSearch::exhaustive(),
+        );
+        assert_eq!(fast.converged, slow.converged);
+        assert_eq!(fast.rounds, slow.rounds);
+        assert_eq!(fast.applied, slow.applied);
+        assert_eq!(fast.explored + fast.bound_pruned, slow.explored);
+        assert_eq!(
+            accelerated.canonical_channels(),
+            reference.canonical_channels()
+        );
     }
 }

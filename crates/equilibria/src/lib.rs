@@ -10,9 +10,12 @@
 //!   `a`-weighted expected hop charges, and the Zipf distribution is
 //!   recomputed after every deviation, exactly as the Thm 8 calculations
 //!   do.
-//! * [`nash`] — the exhaustive deviation checker: enumerates every
+//! * [`nash`] — the deviation checker: lazily enumerates every
 //!   remove-owned × add-new combination per player (exponential — the
-//!   NP-hardness of the general problem is Thm 2 of \[19\]).
+//!   NP-hardness of the general problem is Thm 2 of \[19\]), pruned by an
+//!   admissible utility upper bound and evaluated through the edge-delta
+//!   incremental engine; both accelerations are verdict-preserving and
+//!   individually opt-out via [`nash::DeviationSearch`].
 //! * [`theorems`] — the closed-form predicates of Thm 6 (hub-path bound),
 //!   Thm 7/8/9 (star), and Thm 11 (circle crossover estimates), so
 //!   experiments can compare prediction against mechanized ground truth.
@@ -45,4 +48,4 @@ pub mod theorems;
 pub mod welfare;
 
 pub use game::{Game, GameParams};
-pub use nash::{check_equilibrium, Deviation, NashReport};
+pub use nash::{check_equilibrium, Deviation, DeviationSearch, NashReport, SearchStats};

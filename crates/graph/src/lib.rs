@@ -19,6 +19,9 @@
 //! * [`incremental`] — delta-aware betweenness for `host + {u, channels(u)}`
 //!   augmentations: snapshots per-source BFS trees once and recomputes only
 //!   affected sources, bit-identical to the from-scratch path.
+//! * [`edge_delta`] — the same idea for batches of channel insertions and
+//!   deletions between *existing* nodes (the §IV deviation workload), with
+//!   per-query pair-weight overrides for the recomputed-Zipf setting.
 //! * [`metrics`] — clustering, path lengths and degree statistics for
 //!   reporting on emergent topologies.
 //! * [`generators`] — star/path/circle/complete topologies of §IV and the
@@ -40,6 +43,7 @@
 pub mod betweenness;
 pub mod bfs;
 pub mod dijkstra;
+pub mod edge_delta;
 pub mod generators;
 pub mod graph;
 pub mod incremental;
