@@ -19,6 +19,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcg_equilibria::game::{Game, GameParams};
 use lcg_equilibria::nash::{check_equilibrium_with, DeviationCache, DeviationSearch, NashReport};
+use lcg_obs::json::Json;
 use std::time::Instant;
 
 /// The Thm 7 stable-star regime: Zipf bias strong enough that leaves keep
@@ -79,65 +80,109 @@ fn run_head_to_head(n: usize) -> HeadToHead {
     }
 }
 
-fn json_for(head: &[HeadToHead], sweep: &[SweepPoint]) -> String {
+/// The machine-readable artifact as a `lcg_obs::json::Json` document:
+/// rendering rejects non-finite numbers, so a NaN'd timing can no longer
+/// slip an invalid artifact past CI (the old hand-rolled `format!` writer
+/// happily emitted literal `NaN`).
+fn json_for(head: &[HeadToHead], sweep: &[SweepPoint]) -> Json {
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"deviation_scaling\",\n");
-    out.push_str(&format!("  \"hardware_threads\": {hw},\n"));
-    out.push_str(
-        "  \"game\": {\"topology\": \"star\", \"zipf_s\": 6.0, \"a\": 0.4, \"b\": 0.4, \"link_cost\": 1.0},\n",
-    );
-    out.push_str(
-        "  \"acceptance\": {\"n\": 10, \"min_source_recomputation_factor\": 5.0, \"sweep_reaches_n\": 20},\n",
-    );
-    out.push_str("  \"head_to_head\": [\n");
-    for (i, h) in head.iter().enumerate() {
-        out.push_str(&format!(
-            concat!(
-                "    {{\"n\": {}, \"is_equilibrium\": {}, ",
-                "\"exhaustive_explored\": {}, \"pruned_explored\": {}, \"bound_pruned\": {}, ",
-                "\"exhaustive_sources\": {}, \"pruned_sources\": {}, \"sources_reweighted\": {}, ",
-                "\"source_factor\": {:.2}, ",
-                "\"exhaustive_ms\": {:.3}, \"pruned_ms\": {:.3}, \"wall_clock_speedup\": {:.2}}}{}\n"
-            ),
-            h.n,
-            h.pruned.is_equilibrium,
-            h.exhaustive.explored,
-            h.pruned.explored,
-            h.pruned.bound_pruned,
-            h.exhaustive.sources_recomputed,
-            h.pruned.sources_recomputed,
-            h.pruned.sources_reweighted,
-            h.exhaustive.sources_recomputed as f64 / h.pruned.sources_recomputed.max(1) as f64,
-            h.exhaustive_ms,
-            h.pruned_ms,
-            h.exhaustive_ms / h.pruned_ms.max(1e-9),
-            if i + 1 < head.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"pruned_sweep\": [\n");
-    for (i, p) in sweep.iter().enumerate() {
-        let exhaustive_candidates = p.report.explored + p.report.bound_pruned;
-        out.push_str(&format!(
-            concat!(
-                "    {{\"n\": {}, \"is_equilibrium\": {}, \"candidates\": {}, ",
-                "\"explored\": {}, \"bound_pruned\": {}, ",
-                "\"sources_recomputed\": {}, \"sources_reweighted\": {}, \"ms\": {:.3}}}{}\n"
-            ),
-            p.n,
-            p.report.is_equilibrium,
-            exhaustive_candidates,
-            p.report.explored,
-            p.report.bound_pruned,
-            p.report.sources_recomputed,
-            p.report.sources_reweighted,
-            p.ms,
-            if i + 1 < sweep.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let head_to_head: Vec<Json> = head
+        .iter()
+        .map(|h| {
+            Json::object([
+                ("n".to_string(), Json::U64(h.n as u64)),
+                (
+                    "is_equilibrium".to_string(),
+                    Json::Bool(h.pruned.is_equilibrium),
+                ),
+                (
+                    "exhaustive_explored".to_string(),
+                    Json::U64(h.exhaustive.explored),
+                ),
+                ("pruned_explored".to_string(), Json::U64(h.pruned.explored)),
+                ("bound_pruned".to_string(), Json::U64(h.pruned.bound_pruned)),
+                (
+                    "exhaustive_sources".to_string(),
+                    Json::U64(h.exhaustive.sources_recomputed),
+                ),
+                (
+                    "pruned_sources".to_string(),
+                    Json::U64(h.pruned.sources_recomputed),
+                ),
+                (
+                    "sources_reweighted".to_string(),
+                    Json::U64(h.pruned.sources_reweighted),
+                ),
+                (
+                    "source_factor".to_string(),
+                    Json::F64(
+                        h.exhaustive.sources_recomputed as f64
+                            / h.pruned.sources_recomputed.max(1) as f64,
+                    ),
+                ),
+                ("exhaustive_ms".to_string(), Json::F64(h.exhaustive_ms)),
+                ("pruned_ms".to_string(), Json::F64(h.pruned_ms)),
+                (
+                    "wall_clock_speedup".to_string(),
+                    Json::F64(h.exhaustive_ms / h.pruned_ms.max(1e-9)),
+                ),
+            ])
+        })
+        .collect();
+    let pruned_sweep: Vec<Json> = sweep
+        .iter()
+        .map(|p| {
+            Json::object([
+                ("n".to_string(), Json::U64(p.n as u64)),
+                (
+                    "is_equilibrium".to_string(),
+                    Json::Bool(p.report.is_equilibrium),
+                ),
+                ("candidates".to_string(), Json::U64(p.report.candidates())),
+                ("explored".to_string(), Json::U64(p.report.explored)),
+                ("bound_pruned".to_string(), Json::U64(p.report.bound_pruned)),
+                (
+                    "sources_recomputed".to_string(),
+                    Json::U64(p.report.sources_recomputed),
+                ),
+                (
+                    "sources_reweighted".to_string(),
+                    Json::U64(p.report.sources_reweighted),
+                ),
+                ("ms".to_string(), Json::F64(p.ms)),
+            ])
+        })
+        .collect();
+    Json::object([
+        (
+            "bench".to_string(),
+            Json::Str("deviation_scaling".to_string()),
+        ),
+        ("hardware_threads".to_string(), Json::U64(hw as u64)),
+        (
+            "game".to_string(),
+            Json::object([
+                ("topology".to_string(), Json::Str("star".to_string())),
+                ("zipf_s".to_string(), Json::F64(6.0)),
+                ("a".to_string(), Json::F64(0.4)),
+                ("b".to_string(), Json::F64(0.4)),
+                ("link_cost".to_string(), Json::F64(1.0)),
+            ]),
+        ),
+        (
+            "acceptance".to_string(),
+            Json::object([
+                ("n".to_string(), Json::U64(10)),
+                (
+                    "min_source_recomputation_factor".to_string(),
+                    Json::F64(5.0),
+                ),
+                ("sweep_reaches_n".to_string(), Json::U64(20)),
+            ]),
+        ),
+        ("head_to_head".to_string(), Json::Array(head_to_head)),
+        ("pruned_sweep".to_string(), Json::Array(pruned_sweep)),
+    ])
 }
 
 fn bench_deviation_scaling(c: &mut Criterion) {
@@ -188,9 +233,11 @@ fn bench_deviation_scaling(c: &mut Criterion) {
         "acceptance: the pruned sweep must reach n >= 20"
     );
 
-    let json = json_for(&head, &sweep);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_deviation.json");
-    std::fs::write(path, &json).expect("write BENCH_deviation.json");
+    if let Err(e) = lcg_obs::json::write_file(path, &json_for(&head, &sweep)) {
+        eprintln!("bench: {e}");
+        std::process::exit(1);
+    }
     println!("bench: wrote {path}");
 
     // Criterion timings on the n = 8 head-to-head game.

@@ -20,6 +20,7 @@ use lcg_graph::betweenness::weighted_node_betweenness;
 use lcg_graph::generators::{self, Topology};
 use lcg_graph::incremental::IncrementalBetweenness;
 use lcg_graph::NodeId;
+use lcg_obs::json::Json;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -148,40 +149,56 @@ fn run_case(case: &HostCase) -> CaseReport {
     }
 }
 
-fn json_for(reports: &[CaseReport]) -> String {
+/// The machine-readable artifact as a `lcg_obs::json::Json` document:
+/// rendering rejects non-finite numbers, so a NaN'd timing can no longer
+/// slip an invalid artifact past CI (the old hand-rolled `format!` writer
+/// happily emitted literal `NaN`).
+fn json_for(reports: &[CaseReport]) -> Json {
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"incremental_speedup\",\n");
-    out.push_str(&format!("  \"hardware_threads\": {hw},\n"));
-    out.push_str("  \"acceptance\": {\"host\": \"ba_500\", \"min_recomputation_factor\": 3.0},\n");
-    out.push_str("  \"hosts\": [\n");
-    for (i, r) in reports.iter().enumerate() {
-        out.push_str(&format!(
-            concat!(
-                "    {{\"label\": \"{}\", \"topology\": \"{}\", \"n\": {}, \"channels\": {}, ",
-                "\"queries\": {}, \"from_scratch_sources\": {}, \"recomputed_sources\": {}, ",
-                "\"cached_sources\": {}, \"recomputation_factor\": {:.2}, ",
-                "\"snapshot_ms\": {:.3}, \"from_scratch_ms\": {:.3}, ",
-                "\"incremental_ms\": {:.3}, \"wall_clock_speedup\": {:.2}}}{}\n"
-            ),
-            r.label,
-            r.topology,
-            r.n,
-            r.channels,
-            r.queries,
-            r.from_scratch_sources,
-            r.recomputed_sources,
-            r.cached_sources,
-            r.recomputation_factor,
-            r.snapshot_ms,
-            r.from_scratch_ms,
-            r.incremental_ms,
-            r.speedup,
-            if i + 1 < reports.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let hosts: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            Json::object([
+                ("label".to_string(), Json::Str(r.label.to_string())),
+                ("topology".to_string(), Json::Str(r.topology.to_string())),
+                ("n".to_string(), Json::U64(r.n as u64)),
+                ("channels".to_string(), Json::U64(r.channels as u64)),
+                ("queries".to_string(), Json::U64(r.queries as u64)),
+                (
+                    "from_scratch_sources".to_string(),
+                    Json::U64(r.from_scratch_sources),
+                ),
+                (
+                    "recomputed_sources".to_string(),
+                    Json::U64(r.recomputed_sources),
+                ),
+                ("cached_sources".to_string(), Json::U64(r.cached_sources)),
+                (
+                    "recomputation_factor".to_string(),
+                    Json::F64(r.recomputation_factor),
+                ),
+                ("snapshot_ms".to_string(), Json::F64(r.snapshot_ms)),
+                ("from_scratch_ms".to_string(), Json::F64(r.from_scratch_ms)),
+                ("incremental_ms".to_string(), Json::F64(r.incremental_ms)),
+                ("wall_clock_speedup".to_string(), Json::F64(r.speedup)),
+            ])
+        })
+        .collect();
+    Json::object([
+        (
+            "bench".to_string(),
+            Json::Str("incremental_speedup".to_string()),
+        ),
+        ("hardware_threads".to_string(), Json::U64(hw as u64)),
+        (
+            "acceptance".to_string(),
+            Json::object([
+                ("host".to_string(), Json::Str("ba_500".to_string())),
+                ("min_recomputation_factor".to_string(), Json::F64(3.0)),
+            ]),
+        ),
+        ("hosts".to_string(), Json::Array(hosts)),
+    ])
 }
 
 fn bench_incremental_speedup(c: &mut Criterion) {
@@ -214,9 +231,11 @@ fn bench_incremental_speedup(c: &mut Criterion) {
         ba500.recomputation_factor
     );
 
-    let json = json_for(&reports);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
-    std::fs::write(path, &json).expect("write BENCH_incremental.json");
+    if let Err(e) = lcg_obs::json::write_file(path, &json_for(&reports)) {
+        eprintln!("bench: {e}");
+        std::process::exit(1);
+    }
     println!("bench: wrote {path}");
 
     // Criterion timings on one representative 2-channel query per host.

@@ -1,0 +1,160 @@
+//! Disabled-path cost of the `lcg-obs` layer on the Brandes 500-node BA
+//! benchmark (issue acceptance: ≤ 2% overhead with observability off).
+//!
+//! There is no uninstrumented binary to A/B against, so the bench bounds
+//! the overhead from first principles: it measures the per-call cost of
+//! each disabled primitive (span construction, the `enabled()` gate a
+//! counter mirror hides behind, an inert timer), counts how many such
+//! touch points one instrumented Brandes run executes, and divides the
+//! product by the measured Brandes wall time. The quotient is asserted
+//! ≤ 0.02 and the numbers land in a machine-readable `BENCH_obs.json`
+//! at the repo root; the write fails loudly so CI can't green-light a
+//! missing or malformed artifact.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lcg_graph::betweenness::weighted_node_betweenness;
+use lcg_graph::generators::{self, Topology};
+use lcg_graph::NodeId;
+use lcg_obs::json::Json;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Matches the chunking constant of the Brandes source loop.
+const SOURCE_CHUNK: usize = 8;
+
+fn pair_weight(s: NodeId, r: NodeId) -> f64 {
+    1.0 + 0.01 * (s.index() % 13) as f64 + 0.001 * (r.index() % 7) as f64
+}
+
+fn ba_500() -> Topology {
+    let mut rng = StdRng::seed_from_u64(0x1234);
+    generators::barabasi_albert(500, 2, &mut rng)
+}
+
+/// Median-of-runs wall time in nanoseconds for one closure invocation.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Per-call cost of a disabled primitive, amortized over `iters` calls.
+fn per_call_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    assert!(
+        !lcg_obs::enabled(),
+        "obs must be disabled for the overhead measurement"
+    );
+    let host = ba_500();
+    let n = host.node_count();
+
+    // Brandes wall time on the instrumented (but disabled) path.
+    weighted_node_betweenness(&host, pair_weight); // warm-up
+    let brandes_ns = median_ns(5, || {
+        black_box(weighted_node_betweenness(&host, pair_weight));
+    });
+
+    // Disabled-primitive unit costs.
+    const ITERS: usize = 1_000_000;
+    let span_ns = per_call_ns(ITERS, || {
+        black_box(lcg_obs::span::span("bench/disabled"));
+    });
+    let gate_ns = per_call_ns(ITERS, || {
+        black_box(lcg_obs::enabled());
+    });
+    let timer_ns = per_call_ns(ITERS, || {
+        black_box(lcg_obs::timer!("bench/disabled_ns"));
+    });
+
+    // Touch points of one `weighted_node_betweenness` call: the outer
+    // Brandes span, its two gated counters, one inert chunk timer per
+    // source chunk, and the par-map gate plus one worker span per thread.
+    let chunks = n.div_ceil(SOURCE_CHUNK);
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let estimated_ns =
+        span_ns * (1 + threads) as f64 + gate_ns * (2 + 1) as f64 + timer_ns * chunks as f64;
+    let ratio = estimated_ns / brandes_ns;
+
+    println!(
+        "obs overhead: brandes {:.3}ms, disabled span {:.1}ns gate {:.1}ns timer {:.1}ns, \
+         {} chunks + {} workers -> estimated {:.1}ns ({:.4}% of the run)",
+        brandes_ns / 1e6,
+        span_ns,
+        gate_ns,
+        timer_ns,
+        chunks,
+        threads,
+        estimated_ns,
+        ratio * 100.0,
+    );
+    assert!(
+        ratio <= 0.02,
+        "acceptance: disabled-obs overhead must be <= 2% of the BA-500 Brandes run, \
+         got {:.4}% ({estimated_ns:.1}ns of {brandes_ns:.1}ns)",
+        ratio * 100.0
+    );
+
+    let doc = Json::object([
+        ("bench".to_string(), Json::Str("obs_overhead".to_string())),
+        ("hardware_threads".to_string(), Json::U64(threads as u64)),
+        (
+            "host".to_string(),
+            Json::object([
+                (
+                    "topology".to_string(),
+                    Json::Str("barabasi_albert".to_string()),
+                ),
+                ("n".to_string(), Json::U64(n as u64)),
+                (
+                    "channels".to_string(),
+                    Json::U64((host.edge_count() / 2) as u64),
+                ),
+            ]),
+        ),
+        (
+            "acceptance".to_string(),
+            Json::object([("max_overhead_ratio".to_string(), Json::F64(0.02))]),
+        ),
+        ("brandes_ms".to_string(), Json::F64(brandes_ns / 1e6)),
+        ("disabled_span_ns".to_string(), Json::F64(span_ns)),
+        ("disabled_gate_ns".to_string(), Json::F64(gate_ns)),
+        ("disabled_timer_ns".to_string(), Json::F64(timer_ns)),
+        ("source_chunks".to_string(), Json::U64(chunks as u64)),
+        ("estimated_overhead_ns".to_string(), Json::F64(estimated_ns)),
+        ("overhead_ratio".to_string(), Json::F64(ratio)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    if let Err(e) = lcg_obs::json::write_file(path, &doc) {
+        eprintln!("bench: {e}");
+        std::process::exit(1);
+    }
+    println!("bench: wrote {path}");
+
+    // Criterion timings: the disabled span primitive and the full run.
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("disabled_span", |b| {
+        b.iter(|| black_box(lcg_obs::span::span("bench/disabled")))
+    });
+    group.bench_function("brandes_ba500_obs_off", |b| {
+        b.iter(|| weighted_node_betweenness(&host, pair_weight))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -5,6 +5,11 @@
 //! the `GENERATED RESULTS` markers in the given markdown file (normally
 //! `EXPERIMENTS.md`) with the freshly measured tables and verdicts, so
 //! the committed data stays regenerable by one command.
+//!
+//! With `--metrics-out <path>` it enables the `lcg-obs` observability
+//! layer and writes one JSON `RunReport` per experiment (span timings +
+//! the migrated cache/delta/pruning counters) to the given file, failing
+//! with a non-zero exit on any serialization or I/O error.
 
 const BEGIN_MARK: &str = "<!-- BEGIN GENERATED RESULTS (all_experiments) -->";
 const END_MARK: &str = "<!-- END GENERATED RESULTS (all_experiments) -->";
@@ -53,18 +58,58 @@ fn update_md(path: &str, reports: &[lcg_bench::report::ExperimentReport]) {
     println!("updated generated section of {path}");
 }
 
+/// Runs the catalog with observability on, capturing one `RunReport` per
+/// experiment, and writes the JSON document to `path`. Any serialization
+/// or I/O failure exits non-zero — CI must not green-light a missing or
+/// invalid artifact.
+fn run_with_metrics(path: &str) -> Vec<lcg_bench::report::ExperimentReport> {
+    lcg_obs::set_enabled(true);
+    let mut reports = Vec::new();
+    let mut runs = Vec::new();
+    for (id, run) in lcg_bench::experiments::catalog() {
+        lcg_obs::reset();
+        reports.push(run());
+        runs.push(lcg_obs::report::RunReport::capture(id).to_json());
+    }
+    lcg_obs::set_enabled(false);
+    let doc = lcg_obs::json::Json::object([(
+        "experiments".to_string(),
+        lcg_obs::json::Json::Array(runs),
+    )]);
+    if let Err(e) = lcg_obs::json::write_file(path, &doc) {
+        eprintln!("--metrics-out: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote per-experiment run reports to {path}");
+    reports
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let md_path = match args.as_slice() {
-        [] => None,
-        [flag, path] if flag == "--update-md" => Some(path.clone()),
-        _ => {
-            eprintln!("usage: all_experiments [--update-md <path>]");
+    let mut md_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let target = match flag.as_str() {
+            "--update-md" => &mut md_path,
+            "--metrics-out" => &mut metrics_path,
+            _ => {
+                eprintln!("usage: all_experiments [--update-md <path>] [--metrics-out <path>]");
+                std::process::exit(2);
+            }
+        };
+        let Some(path) = iter.next() else {
+            eprintln!("{flag} requires a path argument");
             std::process::exit(2);
-        }
-    };
+        };
+        *target = Some(path.clone());
+    }
 
-    let reports = lcg_bench::experiments::all();
+    let reports = if let Some(path) = &metrics_path {
+        run_with_metrics(path)
+    } else {
+        lcg_bench::experiments::all()
+    };
     let mut failed = 0;
     for r in &reports {
         println!("{r}\n");

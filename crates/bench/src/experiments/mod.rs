@@ -20,21 +20,32 @@ pub mod e13_ablations;
 
 use crate::report::ExperimentReport;
 
+/// A catalog entry: the experiment's id and its runner.
+pub type CatalogEntry = (&'static str, fn() -> ExperimentReport);
+
+/// `(experiment id, runner)` pairs in DESIGN.md order — the single
+/// source of truth for what `all()` and `all_experiments --metrics-out`
+/// execute (the latter brackets each runner with an observability
+/// reset/capture to emit one `RunReport` per experiment).
+pub fn catalog() -> Vec<CatalogEntry> {
+    vec![
+        ("E1", e01_fig1::run as fn() -> ExperimentReport),
+        ("E2", e02_fig2::run),
+        ("E3", e03_zipf::run),
+        ("E4", e04_utility_properties::run),
+        ("E5", e05_greedy::run),
+        ("E6", e06_exhaustive::run),
+        ("E7", e07_continuous::run),
+        ("E8", e08_hub_bound::run),
+        ("E9", e09_star::run),
+        ("E10", e10_path::run),
+        ("E11", e11_circle::run),
+        ("E12", e12_rates::run),
+        ("E13", e13_ablations::run),
+    ]
+}
+
 /// Runs every experiment in order.
 pub fn all() -> Vec<ExperimentReport> {
-    vec![
-        e01_fig1::run(),
-        e02_fig2::run(),
-        e03_zipf::run(),
-        e04_utility_properties::run(),
-        e05_greedy::run(),
-        e06_exhaustive::run(),
-        e07_continuous::run(),
-        e08_hub_bound::run(),
-        e09_star::run(),
-        e10_path::run(),
-        e11_circle::run(),
-        e12_rates::run(),
-        e13_ablations::run(),
-    ]
+    catalog().into_iter().map(|(_, run)| run()).collect()
 }

@@ -100,6 +100,9 @@ impl DeltaRevenueOracle {
         v: NodeId,
         model: &TransactionModel,
     ) -> (f64, DeltaQueryStats) {
+        if lcg_obs::enabled() {
+            lcg_obs::counter!("core/delta_eval/revenue_queries").inc();
+        }
         self.engine
             .node_score_with(updated, delta, v, |s, r| model.pair_rate(s, r) * self.favg)
     }
@@ -112,6 +115,9 @@ impl DeltaRevenueOracle {
         delta: &EdgeDelta,
         model: &TransactionModel,
     ) -> (Vec<f64>, DeltaQueryStats) {
+        if lcg_obs::enabled() {
+            lcg_obs::counter!("core/delta_eval/rate_queries").inc();
+        }
         self.engine
             .node_betweenness_with(updated, delta, |s, r| model.pair_rate(s, r) * self.favg)
     }

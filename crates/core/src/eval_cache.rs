@@ -59,12 +59,7 @@ pub struct EvalCacheStats {
 impl EvalCacheStats {
     /// `hits / (hits + misses)`, 0 when the cache was never consulted.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        lcg_obs::stats::hit_rate(self.hits, self.misses)
     }
 }
 
@@ -110,6 +105,14 @@ impl EvalCache {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        // Mirror into the global registry so RunReports aggregate hit
+        // rates across every cache instance in a run.
+        if lcg_obs::enabled() {
+            match found {
+                Some(_) => lcg_obs::counter!("core/eval_cache/hits").inc(),
+                None => lcg_obs::counter!("core/eval_cache/misses").inc(),
+            }
+        }
         found
     }
 

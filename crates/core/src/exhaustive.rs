@@ -177,6 +177,9 @@ pub fn exhaustive_search(oracle: &UtilityOracle, config: ExhaustiveConfig) -> Ex
     } else {
         oracle.candidates().len()
     };
+    let mut solver_span = lcg_obs::span::span("core/exhaustive");
+    solver_span.field_u64("units", units);
+    solver_span.field_u64("parts", k as u64 + 1);
     let start_evals = oracle.evaluation_count();
     let start_hits = oracle.cache_stats().hits;
 
@@ -186,6 +189,9 @@ pub fn exhaustive_search(oracle: &UtilityOracle, config: ExhaustiveConfig) -> Ex
     // division order with a first-strict-max tie-break, which keeps the
     // reported optimum identical at any thread count.
     let run_division = |division: &Vec<u64>| -> Option<(Strategy, f64)> {
+        if lcg_obs::enabled() {
+            lcg_obs::counter!("core/exhaustive/divisions").inc();
+        }
         // First k parts are channel locks (in units of m); the last part is
         // left unlocked. Truncate to the budget-feasible prefix.
         let mut locks: Vec<f64> = Vec::with_capacity(k);

@@ -72,6 +72,8 @@ pub fn greedy_fixed_lock(oracle: &UtilityOracle, budget: f64, lock: f64) -> Gree
 /// for `locks.len()` steps or until no candidate improves `U'`, then
 /// returns the prefix with the best `U'`.
 pub fn greedy_with_locks(oracle: &UtilityOracle, locks: &[f64]) -> GreedyResult {
+    let mut solver_span = lcg_obs::span::span("core/greedy");
+    solver_span.field_u64("steps", locks.len() as u64);
     let start_evals = oracle.evaluation_count();
     let start_hits = oracle.cache_stats().hits;
     let mut available: Vec<NodeId> = oracle.candidates();
@@ -88,6 +90,10 @@ pub fn greedy_with_locks(oracle: &UtilityOracle, locks: &[f64]) -> GreedyResult 
         // `available` stays sorted by node index (see `remove` below), so
         // ties resolve to the lowest-index candidate — the same canonical
         // choice the lazy-greedy heap makes.
+        let _step_span = lcg_obs::span::span("core/greedy/step");
+        if lcg_obs::enabled() {
+            lcg_obs::counter!("core/greedy/candidates_scored").add(available.len() as u64);
+        }
         let score = |candidate: &NodeId| {
             let trial = current.with(Action::new(*candidate, lock));
             oracle.simplified_utility(&trial)

@@ -53,6 +53,7 @@ impl Ord for HeapEntry {
 pub fn lazy_greedy_fixed_lock(oracle: &UtilityOracle, budget: f64, lock: f64) -> GreedyResult {
     assert!(budget >= 0.0 && !budget.is_nan(), "budget must be >= 0");
     assert!(lock >= 0.0 && !lock.is_nan(), "lock must be >= 0");
+    let _solver_span = lcg_obs::span::span("core/lazy_greedy");
     let start_evals = oracle.evaluation_count();
     let start_hits = oracle.cache_stats().hits;
     let per_channel = oracle.params().cost.onchain_fee + lock;
@@ -113,6 +114,9 @@ pub fn lazy_greedy_fixed_lock(oracle: &UtilityOracle, budget: f64, lock: f64) ->
             };
             if top.stamp == k {
                 break Some(top);
+            }
+            if lcg_obs::enabled() {
+                lcg_obs::counter!("core/lazy_greedy/heap_reevaluations").inc();
             }
             let trial = current.with(Action::new(top.candidate, lock));
             let value = oracle.simplified_utility(&trial);

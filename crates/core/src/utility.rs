@@ -455,10 +455,14 @@ impl UtilityOracle {
     /// `E^fees = +∞` and `U = −∞`, per the paper's convention.
     pub fn evaluate(&self, strategy: &Strategy) -> UtilityBreakdown {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
+        if lcg_obs::enabled() {
+            lcg_obs::counter!("core/oracle/evaluations").inc();
+        }
         let key = strategy_key(strategy);
         if let Some(hit) = self.cache.get(&key) {
             return hit;
         }
+        let _miss_timer = lcg_obs::timer!("core/oracle/evaluate_miss_ns");
         let channel_cost: f64 = strategy
             .iter()
             .map(|a| self.params.cost.channel_cost(a.lock))

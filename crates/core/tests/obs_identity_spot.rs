@@ -1,0 +1,48 @@
+//! Spot check: enabling `lcg-obs` changes neither the greedy solver's
+//! chosen strategy nor its utility trace.
+//!
+//! The exhaustive differential suite lives in `crates/obs/tests/identity.rs`;
+//! this is the in-crate canary so a solver-side regression fails here too.
+
+use lcg_core::greedy::greedy_fixed_lock;
+use lcg_core::utility::{UtilityOracle, UtilityParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn greedy_strategy_bit_identical_with_obs_enabled() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let host = lcg_graph::generators::barabasi_albert(30, 2, &mut rng);
+    let n = host.node_bound();
+    // A fresh oracle per leg: the evaluation memo must not leak results
+    // from the off leg into the on leg.
+    let run = || {
+        let oracle = UtilityOracle::new(host.clone(), vec![1.0; n], UtilityParams::default());
+        greedy_fixed_lock(&oracle, 12.0, 3.0)
+    };
+
+    lcg_obs::set_enabled(false);
+    let off = run();
+    lcg_obs::set_enabled(true);
+    lcg_obs::reset();
+    let on = run();
+    lcg_obs::set_enabled(false);
+    lcg_obs::reset();
+
+    assert_eq!(off.strategy, on.strategy, "greedy strategy diverged");
+    assert_eq!(
+        off.simplified_utility.to_bits(),
+        on.simplified_utility.to_bits(),
+        "U' diverged: {} vs {}",
+        off.simplified_utility,
+        on.simplified_utility
+    );
+    for (k, (a, b)) in off
+        .prefix_utilities
+        .iter()
+        .zip(&on.prefix_utilities)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "prefix {k}: {a} vs {b}");
+    }
+}

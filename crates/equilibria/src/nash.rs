@@ -96,6 +96,19 @@ pub struct NashReport {
     pub cache_hits: u64,
 }
 
+impl NashReport {
+    /// Total candidates the exhaustive walk would enumerate:
+    /// `explored + bound_pruned`.
+    pub fn candidates(&self) -> u64 {
+        self.explored + self.bound_pruned
+    }
+
+    /// Fraction of candidates skipped wholesale by the class bound.
+    pub fn pruned_fraction(&self) -> f64 {
+        lcg_obs::stats::part_of_total(self.bound_pruned, self.explored)
+    }
+}
+
 /// Memo from `(player, game state)` to utility, shared across deviation
 /// enumerations. The same states recur constantly — best-response rounds
 /// re-explore every non-moving player's neighborhood, and a converged
@@ -166,9 +179,15 @@ impl DeviationCache {
             .copied();
         if let Some(value) = found {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if lcg_obs::enabled() {
+                lcg_obs::counter!("equilibria/deviation_cache/hits").inc();
+            }
             return (value, false);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if lcg_obs::enabled() {
+            lcg_obs::counter!("equilibria/deviation_cache/misses").inc();
+        }
         let value = compute();
         let mut map = self.map.lock().expect("deviation cache poisoned");
         if map.len() < self.capacity || map.contains_key(&key) {
@@ -563,6 +582,10 @@ pub fn best_deviation_with(
     search: DeviationSearch,
     ctx: Option<&EvalContext>,
 ) -> (Option<Deviation>, SearchStats) {
+    // Per-player wall time: one span per enumeration, annotated with the
+    // masks explored and bound-pruned classes once the walk finishes.
+    let mut player_span = lcg_obs::span::span("equilibria/player_deviation");
+    player_span.field_u64("player", player.index() as u64);
     let local_ctx;
     let ctx = if search.incremental {
         match ctx {
@@ -678,6 +701,11 @@ pub fn best_deviation_with(
             }
         }
     }
+    if player_span.is_recording() {
+        player_span.field_u64("explored", stats.explored);
+        player_span.field_u64("bound_pruned", stats.bound_pruned);
+        player_span.field_bool("found_deviation", best.is_some());
+    }
     (best, stats)
 }
 
@@ -720,6 +748,8 @@ pub fn check_equilibrium_with(
     cache: &DeviationCache,
     search: DeviationSearch,
 ) -> NashReport {
+    let mut check_span = lcg_obs::span::span("equilibria/check");
+    check_span.field_u64("players", game.graph().node_count() as u64);
     let start_hits = cache.stats().hits;
     let ctx = search.incremental.then(|| EvalContext::new(game, &search));
     let players: Vec<NodeId> = game.graph().node_ids().collect();
@@ -739,7 +769,7 @@ pub fn check_equilibrium_with(
             deviations.push(dev);
         }
     }
-    NashReport {
+    let report = NashReport {
         is_equilibrium: deviations.is_empty(),
         deviations,
         explored: stats.explored,
@@ -747,7 +777,18 @@ pub fn check_equilibrium_with(
         sources_recomputed: stats.sources_recomputed,
         sources_reweighted: stats.sources_reweighted,
         cache_hits: cache.stats().hits - start_hits,
+    };
+    // Mirror the report counters into the global registry so RunReports
+    // aggregate deviation-search effort across every check in a run.
+    if check_span.is_recording() {
+        check_span.field_bool("is_equilibrium", report.is_equilibrium);
+        lcg_obs::counter!("equilibria/checks").inc();
+        lcg_obs::counter!("equilibria/explored").add(report.explored);
+        lcg_obs::counter!("equilibria/bound_pruned").add(report.bound_pruned);
+        lcg_obs::counter!("equilibria/sources_recomputed").add(report.sources_recomputed);
+        lcg_obs::counter!("equilibria/sources_reweighted").add(report.sources_reweighted);
     }
+    report
 }
 
 #[cfg(test)]

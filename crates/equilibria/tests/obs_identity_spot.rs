@@ -1,0 +1,39 @@
+//! Spot check: enabling `lcg-obs` changes no equilibrium verdict.
+//!
+//! The exhaustive differential suite lives in `crates/obs/tests/identity.rs`;
+//! this is the in-crate canary so a deviation-search regression fails here
+//! too.
+
+use lcg_equilibria::game::{Game, GameParams};
+use lcg_equilibria::nash::{check_equilibrium_with, DeviationCache, DeviationSearch};
+
+#[test]
+fn equilibrium_verdict_identical_with_obs_enabled() {
+    let game = Game::star(
+        5,
+        GameParams {
+            zipf_s: 6.0,
+            a: 0.4,
+            b: 0.4,
+            link_cost: 1.0,
+            ..GameParams::default()
+        },
+    );
+    let run = || check_equilibrium_with(&game, &DeviationCache::new(), DeviationSearch::default());
+
+    lcg_obs::set_enabled(false);
+    let off = run();
+    lcg_obs::set_enabled(true);
+    lcg_obs::reset();
+    let on = run();
+    lcg_obs::set_enabled(false);
+    lcg_obs::reset();
+
+    assert_eq!(off.is_equilibrium, on.is_equilibrium, "verdict diverged");
+    assert_eq!(off.deviations, on.deviations, "deviations diverged");
+    assert_eq!(
+        (off.explored, off.bound_pruned),
+        (on.explored, on.bound_pruned),
+        "candidate accounting diverged"
+    );
+}

@@ -49,7 +49,19 @@ where
     K: Fn(&[NodeId], &mut Vec<f64>) + Sync,
 {
     let chunks: Vec<&[NodeId]> = sources.chunks(SOURCE_CHUNK).collect();
+    let observe = lcg_obs::enabled();
+    let outer_span = if observe {
+        let mut span = lcg_obs::span::span("graph/brandes");
+        span.field_u64("sources", sources.len() as u64);
+        span.field_u64("chunks", chunks.len() as u64);
+        lcg_obs::counter!("graph/brandes/runs").inc();
+        lcg_obs::counter!("graph/brandes/sources").add(sources.len() as u64);
+        Some(span)
+    } else {
+        None
+    };
     let run_chunk = |chunk: &&[NodeId]| {
+        let _chunk_timer = lcg_obs::timer!("graph/brandes/chunk_ns");
         let mut partial = vec![0.0; out_len];
         kernel(chunk, &mut partial);
         partial
@@ -58,7 +70,9 @@ where
     let partials = lcg_parallel::par_map(&chunks, run_chunk);
     #[cfg(not(feature = "parallel"))]
     let partials: Vec<Vec<f64>> = chunks.iter().map(run_chunk).collect();
-    lcg_parallel::sum_vecs(vec![0.0; out_len], partials)
+    let total = lcg_parallel::sum_vecs(vec![0.0; out_len], partials);
+    drop(outer_span);
+    total
 }
 
 /// Weighted edge betweenness: for each directed edge `e`, the sum over

@@ -66,6 +66,9 @@ impl BfsTree {
 /// assert_eq!(t.path_count(lcg_graph::NodeId(3)), 2.0); // both ways round
 /// ```
 pub fn bfs<N, E>(g: &DiGraph<N, E>, source: NodeId) -> BfsTree {
+    if lcg_obs::enabled() {
+        lcg_obs::counter!("graph/bfs/runs").inc();
+    }
     let n = g.node_bound();
     let mut dist: Vec<Option<u32>> = vec![None; n];
     let mut sigma = vec![0.0; n];

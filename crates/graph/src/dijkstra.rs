@@ -94,6 +94,9 @@ pub fn dijkstra<N, E, F>(g: &DiGraph<N, E>, source: NodeId, mut cost_fn: F) -> S
 where
     F: FnMut(EdgeId, &E) -> Option<f64>,
 {
+    if lcg_obs::enabled() {
+        lcg_obs::counter!("graph/dijkstra/runs").inc();
+    }
     let n = g.node_bound();
     let mut cost: Vec<Option<f64>> = vec![None; n];
     let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];

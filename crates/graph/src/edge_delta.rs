@@ -161,13 +161,10 @@ impl EdgeDeltaStats {
     /// Fraction of per-source BFS work skipped:
     /// `(replayed + reweighted) / total`.
     pub fn pruning_ratio(&self) -> f64 {
-        let skipped = self.replayed_sources + self.reweighted_sources;
-        let total = skipped + self.recomputed_sources;
-        if total == 0 {
-            0.0
-        } else {
-            skipped as f64 / total as f64
-        }
+        lcg_obs::stats::part_of_total(
+            self.replayed_sources + self.reweighted_sources,
+            self.recomputed_sources,
+        )
     }
 }
 
@@ -436,6 +433,21 @@ where
         if stats.fell_back {
             self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
         }
+        // Mirror per-tier accounting into the global registry; one metric
+        // per replay/reweight/recompute tier so RunReports expose the
+        // tier split without per-engine handles.
+        if lcg_obs::enabled() {
+            lcg_obs::counter!("graph/edge_delta/queries").inc();
+            lcg_obs::counter!("graph/edge_delta/recomputed_sources")
+                .add(stats.recomputed_sources as u64);
+            lcg_obs::counter!("graph/edge_delta/reweighted_sources")
+                .add(stats.reweighted_sources as u64);
+            lcg_obs::counter!("graph/edge_delta/replayed_sources")
+                .add(stats.replayed_sources as u64);
+            if stats.fell_back {
+                lcg_obs::counter!("graph/edge_delta/fallbacks").inc();
+            }
+        }
     }
 
     /// Per-source evaluation tiers for one query, or `None` when the
@@ -562,6 +574,8 @@ where
         delta: &EdgeDelta,
         override_rows: Option<&[Vec<f64>]>,
     ) -> (NodeScores, DeltaQueryStats) {
+        let _span = lcg_obs::span::span("graph/edge_delta/full_query");
+        let _timer = lcg_obs::timer!("graph/edge_delta/full_query_ns");
         let out_len = updated.node_bound();
         let Some(tiers) = self.plan(updated, delta, override_rows) else {
             let stats = DeltaQueryStats {
@@ -642,6 +656,8 @@ where
         v: NodeId,
         override_rows: Option<&[Vec<f64>]>,
     ) -> (f64, DeltaQueryStats) {
+        let _span = lcg_obs::span::span("graph/edge_delta/score_query");
+        let _timer = lcg_obs::timer!("graph/edge_delta/score_query_ns");
         let Some(tiers) = self.plan(updated, delta, override_rows) else {
             let stats = DeltaQueryStats {
                 recomputed_sources: self.sources.len(),

@@ -104,12 +104,7 @@ pub struct IncrementalStats {
 impl IncrementalStats {
     /// Fraction of per-source work skipped: `cached / (cached + recomputed)`.
     pub fn pruning_ratio(&self) -> f64 {
-        let total = self.cached_sources + self.recomputed_sources;
-        if total == 0 {
-            0.0
-        } else {
-            self.cached_sources as f64 / total as f64
-        }
+        lcg_obs::stats::part_of_total(self.cached_sources, self.recomputed_sources)
     }
 }
 
@@ -364,6 +359,18 @@ where
             .fetch_add(stats.cached_sources as u64, Ordering::Relaxed);
         if stats.fell_back {
             self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        // Mirror the per-engine counters into the global registry so
+        // RunReports see affected-source pruning without threading engine
+        // handles through callers.
+        if lcg_obs::enabled() {
+            lcg_obs::counter!("graph/incremental/queries").inc();
+            lcg_obs::counter!("graph/incremental/recomputed_sources")
+                .add(stats.recomputed_sources as u64);
+            lcg_obs::counter!("graph/incremental/cached_sources").add(stats.cached_sources as u64);
+            if stats.fell_back {
+                lcg_obs::counter!("graph/incremental/fallbacks").inc();
+            }
         }
     }
 

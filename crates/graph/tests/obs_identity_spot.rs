@@ -1,0 +1,29 @@
+//! Spot check: enabling `lcg-obs` changes no betweenness bit.
+//!
+//! The exhaustive differential suite lives in `crates/obs/tests/identity.rs`;
+//! this is the in-crate canary so a graph-side regression fails here too.
+
+use lcg_graph::betweenness::weighted_node_betweenness;
+use lcg_graph::generators;
+use lcg_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn betweenness_bit_identical_with_obs_enabled() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let host = generators::barabasi_albert(48, 2, &mut rng);
+    let weight = |s: NodeId, r: NodeId| 1.0 + 0.1 * ((s.index() + 2 * r.index()) % 5) as f64;
+
+    lcg_obs::set_enabled(false);
+    let off = weighted_node_betweenness(&host, weight);
+    lcg_obs::set_enabled(true);
+    lcg_obs::reset();
+    let on = weighted_node_betweenness(&host, weight);
+    lcg_obs::set_enabled(false);
+    lcg_obs::reset();
+
+    for (i, (a, b)) in off.iter().zip(&on).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "node {i}: {a} vs {b}");
+    }
+}

@@ -1,0 +1,271 @@
+//! A minimal JSON document model for the exporters.
+//!
+//! The compat `serde` crate is intentionally a no-op marker layer (so the
+//! workspace can swap in real serde later), which means it cannot carry
+//! the exporters. This module is the replacement: a [`Json`] value tree
+//! whose [`Json::render`] returns `Result` and **fails loudly on
+//! non-finite floats** — the hand-rolled `format!` writers the bench
+//! binaries used before this PR would happily emit `NaN`, which is not
+//! JSON, and CI would green-light the broken artifact.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a render or write failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// A float value was NaN or infinite and cannot be represented.
+    NonFiniteNumber {
+        /// Path of object keys / array indices leading to the value.
+        path: String,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::NonFiniteNumber { path } => {
+                write!(f, "non-finite number at {path} cannot be encoded as JSON")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A JSON value. Objects use [`BTreeMap`] so rendering is deterministic
+/// (stable key order) — the "stable machine-readable document" half of
+/// the exporter contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (rendered exactly).
+    U64(u64),
+    /// Signed integer (rendered exactly).
+    I64(i64),
+    /// Finite float; non-finite values make [`Json::render`] fail.
+    F64(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with deterministic key order.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Convenience object builder from `(key, value)` pairs.
+    pub fn object<I: IntoIterator<Item = (String, Json)>>(pairs: I) -> Json {
+        Json::Object(pairs.into_iter().collect())
+    }
+
+    /// Renders the document as compact JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::NonFiniteNumber`] if any reachable `F64` is NaN or
+    /// infinite; the error names the path to the offending value.
+    pub fn render(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.render_into(&mut out, "$")?;
+        Ok(out)
+    }
+
+    /// Renders with two-space indentation (for humans and `git diff`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Json::render`].
+    pub fn render_pretty(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, "$", 0)?;
+        out.push('\n');
+        Ok(out)
+    }
+
+    fn render_into(&self, out: &mut String, path: &str) -> Result<(), JsonError> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => out.push_str(&render_f64(*v, path)?),
+            Json::Str(s) => escape_into(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out, &format!("{path}[{i}]"))?;
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    value.render_into(out, &format!("{path}.{key}"))?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+
+    fn render_pretty_into(
+        &self,
+        out: &mut String,
+        path: &str,
+        depth: usize,
+    ) -> Result<(), JsonError> {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.render_pretty_into(out, &format!("{path}[{i}]"), depth + 1)?;
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.render_pretty_into(out, &format!("{path}.{key}"), depth + 1)?;
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.render_into(out, path)?,
+        }
+        Ok(())
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_f64(v: f64, path: &str) -> Result<String, JsonError> {
+    if !v.is_finite() {
+        return Err(JsonError::NonFiniteNumber {
+            path: path.to_string(),
+        });
+    }
+    // `{:?}` keeps round-trip precision and always includes a decimal
+    // point or exponent, distinguishing floats from integers on re-read.
+    Ok(format!("{v:?}"))
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders `doc` and writes it to `path`, failing loudly: any
+/// serialization or I/O error is returned (never swallowed), so callers
+/// can exit non-zero instead of shipping an empty or invalid artifact.
+///
+/// # Errors
+///
+/// The render error or the I/O error, stringified with the target path.
+pub fn write_file(path: &str, doc: &Json) -> Result<(), String> {
+    let text = doc
+        .render_pretty()
+        .map_err(|e| format!("serializing {path}: {e}"))?;
+    std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        let doc = Json::object([
+            ("b".to_string(), Json::Bool(true)),
+            ("a".to_string(), Json::U64(7)),
+            (
+                "c".to_string(),
+                Json::Array(vec![Json::F64(0.5), Json::Null]),
+            ),
+            ("d".to_string(), Json::Str("tab\there \"q\"".to_string())),
+        ]);
+        assert_eq!(
+            doc.render().unwrap(),
+            r#"{"a":7,"b":true,"c":[0.5,null],"d":"tab\there \"q\""}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_fail_with_a_path() {
+        let doc = Json::object([(
+            "metrics".to_string(),
+            Json::Array(vec![Json::F64(1.0), Json::F64(f64::NAN)]),
+        )]);
+        let err = doc.render().unwrap_err();
+        assert_eq!(
+            err,
+            JsonError::NonFiniteNumber {
+                path: "$.metrics[1]".to_string()
+            }
+        );
+        assert!(doc.render_pretty().is_err());
+    }
+
+    #[test]
+    fn pretty_rendering_is_reparseable_shape() {
+        let doc = Json::object([
+            ("empty".to_string(), Json::Array(vec![])),
+            (
+                "nested".to_string(),
+                Json::object([("k".to_string(), Json::I64(-3))]),
+            ),
+        ]);
+        let text = doc.render_pretty().unwrap();
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.contains("\"k\": -3"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn float_rendering_round_trips_precision() {
+        assert_eq!(Json::F64(0.1).render().unwrap(), "0.1");
+        assert_eq!(Json::F64(2.0).render().unwrap(), "2.0");
+    }
+}

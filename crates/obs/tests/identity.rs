@@ -1,0 +1,143 @@
+//! Bit-identity of instrumented hot paths: enabling the observability
+//! layer must not change a single output bit anywhere.
+//!
+//! Each test runs a workload with the switch off, re-runs it with spans
+//! and metrics recording, and compares results via `f64::to_bits` (exact,
+//! including infinities). The switch is process-global, so every test
+//! serializes on one mutex and restores the disabled state before
+//! releasing it.
+
+use lcg_core::strategy::Strategy;
+use lcg_core::utility::{RevenueMode, UtilityOracle, UtilityParams};
+use lcg_equilibria::game::{Game, GameParams};
+use lcg_equilibria::nash::{check_equilibrium_with, DeviationCache, DeviationSearch, NashReport};
+use lcg_graph::betweenness::weighted_node_betweenness;
+use lcg_graph::generators::{self, Topology};
+use lcg_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+static SWITCH: Mutex<()> = Mutex::new(());
+
+/// Runs `workload` once with observability off and once with it on
+/// (fresh span/metric state), returning both results with the global
+/// switch restored to off.
+fn off_then_on<T>(mut workload: impl FnMut() -> T) -> (T, T) {
+    let _guard = SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    lcg_obs::set_enabled(false);
+    let off = workload();
+    lcg_obs::set_enabled(true);
+    lcg_obs::reset();
+    let on = workload();
+    lcg_obs::set_enabled(false);
+    lcg_obs::reset();
+    (off, on)
+}
+
+fn assert_bits_eq(off: &[f64], on: &[f64], what: &str) {
+    assert_eq!(off.len(), on.len(), "{what}: length diverged");
+    for (i, (a, b)) in off.iter().zip(on).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: index {i} diverged with obs on: {a} vs {b}"
+        );
+    }
+}
+
+fn pair_weight(s: NodeId, r: NodeId) -> f64 {
+    1.0 + 0.01 * (s.index() % 13) as f64 + 0.001 * (r.index() % 7) as f64
+}
+
+fn hosts() -> Vec<(&'static str, Topology)> {
+    let mut rng = StdRng::seed_from_u64(0xAB5);
+    vec![
+        ("er_60", generators::erdos_renyi(60, 0.08, &mut rng)),
+        ("ba_60", generators::barabasi_albert(60, 2, &mut rng)),
+    ]
+}
+
+#[test]
+fn brandes_bit_identical_on_er_and_ba() {
+    for (label, host) in hosts() {
+        let (off, on) = off_then_on(|| weighted_node_betweenness(&host, pair_weight));
+        assert_bits_eq(&off, &on, &format!("brandes {label}"));
+    }
+}
+
+#[test]
+fn oracle_bit_identical_across_revenue_modes() {
+    let mut rng = StdRng::seed_from_u64(0xAB5);
+    let host = generators::barabasi_albert(40, 2, &mut rng);
+    let n = host.node_bound();
+    for mode in [
+        RevenueMode::Intermediary,
+        RevenueMode::IncidentEdges,
+        RevenueMode::FixedPerChannel,
+    ] {
+        let params = UtilityParams {
+            revenue_mode: mode,
+            ..UtilityParams::default()
+        };
+        let strategies = [
+            Strategy::from_pairs(&[(NodeId(0), 5.0)]),
+            Strategy::from_pairs(&[(NodeId(0), 5.0), (NodeId(7), 3.0)]),
+            Strategy::from_pairs(&[(NodeId(3), 2.0), (NodeId(11), 2.0), (NodeId(19), 2.0)]),
+        ];
+        // A fresh oracle per leg: the evaluation memo must not leak
+        // results from the off leg into the on leg.
+        let (off, on) = off_then_on(|| {
+            let oracle = UtilityOracle::new(host.clone(), vec![1.0; n], params.clone());
+            strategies
+                .iter()
+                .flat_map(|s| {
+                    let b = oracle.evaluate(s);
+                    [
+                        b.revenue,
+                        b.expected_fees,
+                        b.channel_cost,
+                        b.utility,
+                        b.simplified,
+                        b.benefit,
+                    ]
+                })
+                .collect::<Vec<f64>>()
+        });
+        assert_bits_eq(&off, &on, &format!("oracle {mode:?}"));
+    }
+}
+
+#[test]
+fn deviation_search_bit_identical() {
+    let game = Game::star(
+        6,
+        GameParams {
+            zipf_s: 6.0,
+            a: 0.4,
+            b: 0.4,
+            link_cost: 1.0,
+            ..GameParams::default()
+        },
+    );
+    for (label, search) in [
+        ("pruned", DeviationSearch::default()),
+        ("exhaustive", DeviationSearch::exhaustive()),
+    ] {
+        let (off, on): (NashReport, NashReport) =
+            off_then_on(|| check_equilibrium_with(&game, &DeviationCache::new(), search));
+        assert_eq!(
+            off.is_equilibrium, on.is_equilibrium,
+            "{label}: verdict diverged with obs on"
+        );
+        assert_eq!(
+            off.deviations, on.deviations,
+            "{label}: deviations diverged with obs on"
+        );
+        assert_eq!(
+            (off.explored, off.bound_pruned),
+            (on.explored, on.bound_pruned),
+            "{label}: candidate accounting diverged with obs on"
+        );
+    }
+}

@@ -86,11 +86,26 @@ where
         return (0..n).map(f).collect();
     }
 
+    // Per-worker chunk timing: each worker opens its own root span (spans
+    // do not cross threads) and annotates how many items the dynamic
+    // scheduler handed it. The whole block is gated so the disabled path
+    // touches nothing beyond one relaxed load per worker.
+    let observe = lcg_obs::enabled();
+    if observe {
+        lcg_obs::counter!("parallel/par_map_calls").inc();
+        lcg_obs::gauge!("parallel/threads").set(threads as f64);
+    }
+
     let cursor = AtomicUsize::new(0);
     let buckets: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(threads));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let mut worker_span = if observe {
+                    Some(lcg_obs::span::span("parallel/worker"))
+                } else {
+                    None
+                };
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -98,6 +113,9 @@ where
                         break;
                     }
                     local.push((i, f(i)));
+                }
+                if let Some(span) = worker_span.as_mut() {
+                    span.field_u64("items", local.len() as u64);
                 }
                 buckets.lock().expect("worker bucket lock").push(local);
             });

@@ -110,8 +110,14 @@ pub fn simulate<R: Rng + ?Sized>(pcn: &mut Pcn, txs: &[Tx], rng: &mut R) -> SimR
         node_fees_paid: vec![0.0; pcn.graph().node_bound()],
         horizon: txs.last().map_or(0.0, |t| t.time),
     };
+    let mut sim_span = lcg_obs::span::span("sim/simulate");
+    sim_span.field_u64("transactions", txs.len() as u64);
+    let observe = sim_span.is_recording();
     for tx in txs {
         report.attempted += 1;
+        if observe {
+            lcg_obs::counter!("sim/payments/attempted").inc();
+        }
         match pcn.pay_with_rng(tx.sender, tx.receiver, tx.size, rng) {
             Ok(receipt) => {
                 report.succeeded += 1;
@@ -137,6 +143,12 @@ pub fn simulate<R: Rng + ?Sized>(pcn: &mut Pcn, txs: &[Tx], rng: &mut R) -> SimR
             Err(RouteError::InsufficientCapacity { .. }) => report.failed_capacity += 1,
             Err(_) => report.failed_invalid += 1,
         }
+    }
+    if observe {
+        lcg_obs::counter!("sim/payments/succeeded").add(report.succeeded);
+        lcg_obs::counter!("sim/payments/failed_no_path").add(report.failed_no_path);
+        lcg_obs::counter!("sim/payments/failed_capacity").add(report.failed_capacity);
+        lcg_obs::counter!("sim/payments/failed_invalid").add(report.failed_invalid);
     }
     report
 }

@@ -85,6 +85,9 @@ impl Htlc {
     /// [`RouteError::InsufficientCapacity`] when some hop cannot cover
     /// its reservation — in which case **no** reservation is held.
     pub fn lock(pcn: &mut Pcn, path: &[EdgeId], amount: f64) -> Result<Htlc, RouteError> {
+        if lcg_obs::enabled() {
+            lcg_obs::counter!("sim/htlc/lock_attempts").inc();
+        }
         if path.is_empty() {
             return Err(RouteError::NoPath);
         }

@@ -70,10 +70,18 @@ pub fn rebalance(
     target: EdgeId,
     amount: f64,
 ) -> Result<RebalanceReport, RouteError> {
+    let mut round_span = lcg_obs::span::span("sim/rebalance");
+    if round_span.is_recording() {
+        lcg_obs::counter!("sim/rebalance/rounds").inc();
+    }
     let cycle = find_rebalancing_cycle(pcn, target, amount).ok_or(RouteError::NoPath)?;
     let htlc = Htlc::lock(pcn, &cycle, amount)?;
     let fees = htlc.total_fees();
     htlc.settle(pcn);
+    if round_span.is_recording() {
+        round_span.field_u64("cycle_len", cycle.len() as u64);
+        lcg_obs::counter!("sim/rebalance/succeeded").inc();
+    }
     Ok(RebalanceReport {
         cycle,
         amount,

@@ -1,0 +1,40 @@
+//! Spot check: enabling `lcg-obs` changes no simulation outcome.
+//!
+//! The exhaustive differential suite lives in `crates/obs/tests/identity.rs`;
+//! this is the in-crate canary so an engine-side regression fails here too.
+
+use lcg_sim::engine::simulate;
+use lcg_sim::fees::FeeFunction;
+use lcg_sim::network::Pcn;
+use lcg_sim::onchain::CostModel;
+use lcg_sim::workload::{PairWeights, WorkloadBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sim_report_identical_with_obs_enabled() {
+    let topo = lcg_graph::generators::star(6);
+    // Both legs replay the same stream against a fresh network and a
+    // re-seeded rng, so any divergence can only come from the obs switch.
+    let run = || {
+        let mut pcn = Pcn::from_topology(
+            &topo,
+            50.0,
+            CostModel::default(),
+            FeeFunction::Constant { fee: 0.01 },
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let txs = WorkloadBuilder::new(PairWeights::uniform(7)).generate(150, &mut rng);
+        simulate(&mut pcn, &txs, &mut rng)
+    };
+
+    lcg_obs::set_enabled(false);
+    let off = run();
+    lcg_obs::set_enabled(true);
+    lcg_obs::reset();
+    let on = run();
+    lcg_obs::set_enabled(false);
+    lcg_obs::reset();
+
+    assert_eq!(off, on, "simulation report diverged with obs enabled");
+}
