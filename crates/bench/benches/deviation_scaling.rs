@@ -18,7 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcg_equilibria::game::{Game, GameParams};
-use lcg_equilibria::nash::{check_equilibrium_with, DeviationCache, DeviationSearch, NashReport};
+use lcg_equilibria::nash::{DeviationSearch, NashAnalyzer, NashReport};
 use lcg_obs::json::Json;
 use std::time::Instant;
 
@@ -50,7 +50,7 @@ struct SweepPoint {
 
 fn timed_check(game: &Game, search: DeviationSearch) -> (NashReport, f64) {
     let start = Instant::now();
-    let report = check_equilibrium_with(game, &DeviationCache::new(), search);
+    let report = NashAnalyzer::with_search(search).check(game);
     (report, start.elapsed().as_secs_f64() * 1e3)
 }
 
@@ -245,10 +245,10 @@ fn bench_deviation_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("deviation_scaling");
     group.sample_size(10);
     group.bench_with_input(BenchmarkId::new("exhaustive", 8), &game, |b, g| {
-        b.iter(|| check_equilibrium_with(g, &DeviationCache::new(), DeviationSearch::exhaustive()))
+        b.iter(|| NashAnalyzer::exhaustive().check(g))
     });
     group.bench_with_input(BenchmarkId::new("pruned", 8), &game, |b, g| {
-        b.iter(|| check_equilibrium_with(g, &DeviationCache::new(), DeviationSearch::default()))
+        b.iter(|| NashAnalyzer::new().check(g))
     });
     group.finish();
 }

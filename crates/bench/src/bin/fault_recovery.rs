@@ -1,0 +1,6 @@
+//! Regenerates experiment `e14_faults` (see DESIGN.md).
+fn main() {
+    let report = lcg_bench::experiments::e14_faults::run();
+    println!("{report}");
+    std::process::exit(if report.all_passed() { 0 } else { 1 });
+}

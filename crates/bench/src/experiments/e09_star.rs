@@ -20,9 +20,7 @@ use crate::report::{fmt_f, ExperimentReport, Table, Verdict};
 use lcg_core::utility::HopCharging;
 use lcg_core::zipf::ZipfVariant;
 use lcg_equilibria::game::{Game, GameParams};
-use lcg_equilibria::nash::{
-    check_equilibrium, check_equilibrium_with, DeviationCache, DeviationSearch,
-};
+use lcg_equilibria::nash::NashAnalyzer;
 use lcg_equilibria::theorems::{theorem7_applies, theorem8_conditions, theorem9_sufficient};
 
 /// Runs the experiment.
@@ -52,7 +50,9 @@ pub fn run() -> ExperimentReport {
                     zipf_variant: ZipfVariant::Averaged,
                     hop_charging: HopCharging::Intermediaries,
                 };
-                let actual = check_equilibrium(&Game::star(n, params)).is_equilibrium;
+                let actual = NashAnalyzer::new()
+                    .check(&Game::star(n, params))
+                    .is_equilibrium;
                 table.push_row([
                     n.to_string(),
                     fmt_f(s),
@@ -139,11 +139,7 @@ pub fn run() -> ExperimentReport {
                     zipf_variant: ZipfVariant::Averaged,
                     hop_charging: HopCharging::Intermediaries,
                 };
-                let report = check_equilibrium_with(
-                    &Game::star(n, params),
-                    &DeviationCache::new(),
-                    DeviationSearch::default(),
-                );
+                let report = NashAnalyzer::new().check(&Game::star(n, params));
                 extended.push_row([
                     n.to_string(),
                     fmt_f(s),

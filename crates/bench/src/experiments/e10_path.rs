@@ -10,7 +10,7 @@ use crate::report::{fmt_f, ExperimentReport, Table, Verdict};
 use lcg_core::utility::HopCharging;
 use lcg_core::zipf::ZipfVariant;
 use lcg_equilibria::game::{Game, GameParams};
-use lcg_equilibria::nash::{best_deviation, check_equilibrium};
+use lcg_equilibria::nash::NashAnalyzer;
 use lcg_graph::NodeId;
 
 /// Runs the experiment.
@@ -35,10 +35,10 @@ pub fn run() -> ExperimentReport {
                 hop_charging: HopCharging::Intermediaries,
             };
             let game = Game::path(n, params);
-            let stable = check_equilibrium(&game).is_equilibrium;
+            let analyzer = NashAnalyzer::new();
+            let stable = analyzer.check(&game).is_equilibrium;
             never_stable &= !stable;
-            let mut explored = 0;
-            let endpoint_dev = best_deviation(&game, NodeId(0), &mut explored);
+            let (endpoint_dev, _) = analyzer.best_deviation(&game, NodeId(0));
             let (desc, gain) = match &endpoint_dev {
                 Some(d) => (format!("-{:?} +{:?}", d.remove, d.add), fmt_f(d.gain())),
                 None => ("none".to_string(), "-".to_string()),

@@ -13,7 +13,7 @@ use crate::report::{fmt_f, ExperimentReport, Table, Verdict};
 use lcg_core::utility::HopCharging;
 use lcg_core::zipf::ZipfVariant;
 use lcg_equilibria::game::{Game, GameParams};
-use lcg_equilibria::nash::check_equilibrium;
+use lcg_equilibria::nash::NashAnalyzer;
 use lcg_equilibria::theorems::theorem11_threshold;
 use lcg_graph::NodeId;
 
@@ -60,7 +60,7 @@ pub fn run() -> ExperimentReport {
         let mut n0 = None;
         for n in 4..=MAX_N {
             let game = Game::circle(n, params_with(l, s));
-            if !check_equilibrium(&game).is_equilibrium {
+            if !NashAnalyzer::new().check(&game).is_equilibrium {
                 n0 = Some(n);
                 break;
             }
@@ -69,7 +69,9 @@ pub fn run() -> ExperimentReport {
             Some(n0v) => {
                 // Monotone: every n in [n0, MAX_N] stays unstable.
                 let all_unstable = (n0v..=MAX_N).all(|n| {
-                    !check_equilibrium(&Game::circle(n, params_with(l, s))).is_equilibrium
+                    !NashAnalyzer::new()
+                        .check(&Game::circle(n, params_with(l, s)))
+                        .is_equilibrium
                 });
                 monotone_instability &= all_unstable;
                 let gain = opposite_chord_gain(&Game::circle(n0v, params_with(l, s)), n0v);

@@ -12,7 +12,7 @@ use crate::report::{fmt_f, ExperimentReport, Table, Verdict};
 use lcg_core::rates::TransactionModel;
 use lcg_core::zipf::ZipfVariant;
 use lcg_graph::generators;
-use lcg_sim::engine::simulate;
+use lcg_sim::engine::Simulation;
 use lcg_sim::fees::{FeeFunction, TxSizeDistribution};
 use lcg_sim::network::Pcn;
 use lcg_sim::onchain::CostModel;
@@ -64,7 +64,7 @@ pub fn run() -> ExperimentReport {
             .sender_rates(model.sender_rates())
             .sizes(TxSizeDistribution::Constant { size: 1.0 })
             .generate(TXS, &mut rng);
-        let result = simulate(&mut pcn, &txs, &mut rng);
+        let result = Simulation::new(&mut pcn).workload(&txs).seed(1012).run();
 
         // λ comparison on the busier half of edges (quiet edges have too
         // few samples for a stable relative error).

@@ -20,7 +20,7 @@ use lcg_core::greedy::greedy_fixed_lock;
 use lcg_core::utility::{HopCharging, RevenueMode, UtilityOracle, UtilityParams};
 use lcg_core::zipf::ZipfVariant;
 use lcg_equilibria::game::{Game, GameParams};
-use lcg_equilibria::nash::check_equilibrium;
+use lcg_equilibria::nash::NashAnalyzer;
 use lcg_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -127,7 +127,9 @@ pub fn run() -> ExperimentReport {
                             zipf_variant: variant,
                             ..GameParams::default()
                         };
-                        check_equilibrium(&Game::star(n, params)).is_equilibrium
+                        NashAnalyzer::new()
+                            .check(&Game::star(n, params))
+                            .is_equilibrium
                     })
                     .collect();
                 if verdicts[0] != verdicts[1] {

@@ -1,4 +1,4 @@
-//! One module per experiment in DESIGN.md's index (E1–E12).
+//! One module per experiment in DESIGN.md's index (E1–E14).
 //!
 //! Each module exposes `run() -> ExperimentReport`; the binaries in
 //! `src/bin/` are thin wrappers, and `all()` powers the `all_experiments`
@@ -17,6 +17,7 @@ pub mod e10_path;
 pub mod e11_circle;
 pub mod e12_rates;
 pub mod e13_ablations;
+pub mod e14_faults;
 
 use crate::report::ExperimentReport;
 
@@ -42,6 +43,7 @@ pub fn catalog() -> Vec<CatalogEntry> {
         ("E11", e11_circle::run),
         ("E12", e12_rates::run),
         ("E13", e13_ablations::run),
+        ("E14", e14_faults::run),
     ]
 }
 

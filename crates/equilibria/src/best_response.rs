@@ -9,7 +9,9 @@
 //! discover which topologies the game actually converges to.
 
 use crate::game::Game;
-use crate::nash::{best_deviation_with, Deviation, DeviationCache, DeviationSearch, EvalContext};
+use crate::nash::{
+    search_player, Deviation, DeviationCache, DeviationSearch, EvalContext, NashAnalyzer,
+};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of running best-response dynamics.
@@ -67,8 +69,8 @@ pub fn run_dynamics(game: &mut Game, max_rounds: usize) -> DynamicsReport {
 }
 
 /// [`run_dynamics`] against a caller-owned [`DeviationCache`], letting a
-/// subsequent `check_equilibrium_cached` (or further dynamics on the same
-/// game) reuse every utility this run computed.
+/// subsequent check through the same cache (or further dynamics on the
+/// same game) reuse every utility this run computed.
 pub fn run_dynamics_cached(
     game: &mut Game,
     max_rounds: usize,
@@ -102,7 +104,7 @@ pub fn run_dynamics_with(
             if search.incremental && ctx.is_none() {
                 ctx = Some(EvalContext::new(game, &search));
             }
-            let (dev, stats) = best_deviation_with(game, player, cache, search, ctx.as_ref());
+            let (dev, stats) = search_player(game, player, cache, search, ctx.as_ref());
             explored += stats.explored;
             bound_pruned += stats.bound_pruned;
             sources_recomputed += stats.sources_recomputed;
@@ -139,11 +141,19 @@ pub fn run_dynamics_with(
     }
 }
 
+impl NashAnalyzer {
+    /// Runs best-response dynamics in place under this analyzer's search
+    /// knobs and shared cache, so a [`NashAnalyzer::check`] right after a
+    /// converged run answers the final round from the memo.
+    pub fn run_dynamics(&self, game: &mut Game, max_rounds: usize) -> DynamicsReport {
+        run_dynamics_with(game, max_rounds, self.cache(), self.search())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::game::GameParams;
-    use crate::nash::check_equilibrium;
 
     #[test]
     fn converged_dynamics_end_in_equilibrium() {
@@ -155,9 +165,10 @@ mod tests {
             ..GameParams::default()
         };
         let mut game = Game::path(4, params);
-        let report = run_dynamics(&mut game, 30);
+        let analyzer = NashAnalyzer::new();
+        let report = analyzer.run_dynamics(&mut game, 30);
         if report.converged {
-            assert!(check_equilibrium(&game).is_equilibrium);
+            assert!(analyzer.check(&game).is_equilibrium);
         }
         assert!(report.rounds >= 1);
     }

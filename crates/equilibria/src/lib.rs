@@ -30,13 +30,13 @@
 //!
 //! ```
 //! use lcg_equilibria::game::{Game, GameParams};
-//! use lcg_equilibria::nash::check_equilibrium;
+//! use lcg_equilibria::nash::NashAnalyzer;
 //! use lcg_equilibria::theorems::theorem8_conditions;
 //!
 //! let (n, s, a, b, l) = (5, 3.0, 0.1, 0.1, 1.0);
 //! let predicted = theorem8_conditions(n, s, a, b, l).all_hold();
 //! let params = GameParams { zipf_s: s, a, b, link_cost: l, ..GameParams::default() };
-//! let actual = check_equilibrium(&Game::star(n, params)).is_equilibrium;
+//! let actual = NashAnalyzer::new().check(&Game::star(n, params)).is_equilibrium;
 //! assert_eq!(predicted, actual);
 //! ```
 
@@ -48,4 +48,6 @@ pub mod theorems;
 pub mod welfare;
 
 pub use game::{Game, GameParams};
-pub use nash::{check_equilibrium, Deviation, DeviationSearch, NashReport, SearchStats};
+#[allow(deprecated)]
+pub use nash::check_equilibrium;
+pub use nash::{Deviation, DeviationCache, DeviationSearch, NashAnalyzer, NashReport, SearchStats};

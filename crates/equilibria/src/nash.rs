@@ -287,7 +287,7 @@ impl SearchStats {
 /// One game state's incremental-evaluation snapshot: the
 /// [`DeltaRevenueOracle`] every candidate of every player is answered
 /// from. Build once per state and share across players (it is `Sync`);
-/// [`best_deviation_with`] builds a private one when handed `None`.
+/// the per-player search builds a private one when handed `None`.
 #[derive(Debug)]
 pub struct EvalContext {
     oracle: DeltaRevenueOracle,
@@ -539,43 +539,17 @@ impl UtilityBound {
     }
 }
 
-/// Finds the best unilateral deviation of `player`, if any strictly
-/// profitable one exists.
-///
-/// Lazily enumerates every subset of owned channels to remove × every
-/// subset of addable targets (non-neighbors; re-adding a removed neighbor
-/// is equivalent to not removing it, so such sets are excluded) — up to
-/// `2^owned · 2^addable` candidates, minus whatever the default
-/// [`DeviationSearch`] prunes.
-pub fn best_deviation(game: &Game, player: NodeId, explored: &mut u64) -> Option<Deviation> {
-    best_deviation_cached(game, player, explored, &DeviationCache::new())
-}
-
-/// [`best_deviation`] with utilities routed through a caller-owned
-/// [`DeviationCache`], so repeated explorations of the same states (e.g.
-/// across best-response rounds) cost a hash lookup instead of a Brandes
-/// recomputation.
-pub fn best_deviation_cached(
-    game: &Game,
-    player: NodeId,
-    explored: &mut u64,
-    cache: &DeviationCache,
-) -> Option<Deviation> {
-    let (best, stats) = best_deviation_with(game, player, cache, DeviationSearch::default(), None);
-    *explored += stats.explored;
-    best
-}
-
-/// The full-control deviation search: explicit [`DeviationSearch`] knobs,
-/// an optional shared [`EvalContext`] (must have been built from `game`'s
-/// exact current state; one is built on the spot when `None` and
-/// `search.incremental` is set), and the per-player [`SearchStats`].
+/// The per-player deviation search behind [`NashAnalyzer`]: explicit
+/// [`DeviationSearch`] knobs, an optional shared [`EvalContext`] (must
+/// have been built from `game`'s exact current state; one is built on the
+/// spot when `None` and `search.incremental` is set), and the per-player
+/// [`SearchStats`].
 ///
 /// Every configuration returns the same `Option<Deviation>`: the bound is
 /// admissible, the incremental evaluations are bit-identical, and pruned
 /// and exhaustive walks share one enumeration order, so the incumbent
 /// trajectory — including [`GAIN_EPSILON`] tie-breaks — is identical.
-pub fn best_deviation_with(
+pub(crate) fn search_player(
     game: &Game,
     player: NodeId,
     cache: &DeviationCache,
@@ -709,41 +683,14 @@ pub fn best_deviation_with(
     (best, stats)
 }
 
-/// Checks whether the current game state is a (pure) Nash equilibrium.
-///
-/// # Examples
-///
-/// ```
-/// use lcg_equilibria::game::{Game, GameParams};
-/// use lcg_equilibria::nash::check_equilibrium;
-///
-/// // A very biased Zipf (s large) with moderate link costs: the star is
-/// // stable (Thm 7).
-/// let params = GameParams { zipf_s: 12.0, a: 0.1, b: 0.1, link_cost: 1.0,
-///                           ..GameParams::default() };
-/// let report = check_equilibrium(&Game::star(5, params));
-/// assert!(report.is_equilibrium);
-/// ```
-pub fn check_equilibrium(game: &Game) -> NashReport {
-    check_equilibrium_cached(game, &DeviationCache::new())
-}
-
-/// [`check_equilibrium`] against a caller-owned [`DeviationCache`]. Within
-/// a single check every `(player, state)` pair is distinct, so the payoff
-/// comes from *sharing*: a check right after converged dynamics re-walks
-/// states the dynamics just explored and answers them from the memo.
-pub fn check_equilibrium_cached(game: &Game, cache: &DeviationCache) -> NashReport {
-    check_equilibrium_with(game, cache, DeviationSearch::default())
-}
-
-/// [`check_equilibrium_cached`] under explicit [`DeviationSearch`] knobs.
+/// The whole-game equilibrium check behind [`NashAnalyzer::check`].
 ///
 /// One [`EvalContext`] snapshot of the current state is shared across all
 /// players. Players deviate independently, so each player's enumeration
 /// fans out to its own core when the `parallel` feature is on; results
 /// come back in player order and are folded sequentially, so the report —
 /// counters included — is identical at any thread count.
-pub fn check_equilibrium_with(
+pub(crate) fn check_impl(
     game: &Game,
     cache: &DeviationCache,
     search: DeviationSearch,
@@ -753,8 +700,7 @@ pub fn check_equilibrium_with(
     let start_hits = cache.stats().hits;
     let ctx = search.incremental.then(|| EvalContext::new(game, &search));
     let players: Vec<NodeId> = game.graph().node_ids().collect();
-    let check_player =
-        |&player: &NodeId| best_deviation_with(game, player, cache, search, ctx.as_ref());
+    let check_player = |&player: &NodeId| search_player(game, player, cache, search, ctx.as_ref());
     #[cfg(feature = "parallel")]
     let per_player = lcg_parallel::par_map(&players, check_player);
     #[cfg(not(feature = "parallel"))]
@@ -791,6 +737,172 @@ pub fn check_equilibrium_with(
     report
 }
 
+/// The single entry point for deviation search and equilibrium checking.
+///
+/// Owns the [`DeviationSearch`] knobs and a [`DeviationCache`], so the
+/// wiring that used to be spread across the
+/// `best_deviation`/`_cached`/`_with` and `check_equilibrium`/`_cached`/
+/// `_with` triplets collapses into one value: build an analyzer, reuse it
+/// across checks, and every repeated `(player, state)` utility is a hash
+/// lookup. The shared [`EvalContext`] snapshot is managed internally.
+///
+/// An analyzer is only valid for games over one player set and one
+/// [`GameParams`](crate::game::GameParams) — the same caveat as
+/// [`DeviationCache`].
+///
+/// # Examples
+///
+/// ```
+/// use lcg_equilibria::game::{Game, GameParams};
+/// use lcg_equilibria::nash::NashAnalyzer;
+///
+/// // A very biased Zipf (s large) with moderate link costs: the star is
+/// // stable (Thm 7).
+/// let params = GameParams { zipf_s: 12.0, a: 0.1, b: 0.1, link_cost: 1.0,
+///                           ..GameParams::default() };
+/// let report = NashAnalyzer::new().check(&Game::star(5, params));
+/// assert!(report.is_equilibrium);
+/// ```
+#[derive(Debug, Default)]
+pub struct NashAnalyzer {
+    search: DeviationSearch,
+    cache: DeviationCache,
+}
+
+impl NashAnalyzer {
+    /// An analyzer with the default (fully accelerated) search and a
+    /// fresh cache.
+    pub fn new() -> Self {
+        NashAnalyzer::default()
+    }
+
+    /// An analyzer under explicit [`DeviationSearch`] knobs.
+    pub fn with_search(search: DeviationSearch) -> Self {
+        NashAnalyzer {
+            search,
+            cache: DeviationCache::new(),
+        }
+    }
+
+    /// The unaccelerated reference analyzer (exhaustive enumeration,
+    /// from-scratch evaluation) the differential tests compare against.
+    pub fn exhaustive() -> Self {
+        NashAnalyzer::with_search(DeviationSearch::exhaustive())
+    }
+
+    /// The search configuration this analyzer runs.
+    pub fn search(&self) -> DeviationSearch {
+        self.search
+    }
+
+    /// The utility memo shared by every check this analyzer runs.
+    pub fn cache(&self) -> &DeviationCache {
+        &self.cache
+    }
+
+    /// Finds the best unilateral deviation of `player`, if any strictly
+    /// profitable one exists.
+    ///
+    /// Lazily enumerates every subset of owned channels to remove × every
+    /// subset of addable targets (non-neighbors; re-adding a removed
+    /// neighbor is equivalent to not removing it, so such sets are
+    /// excluded) — up to `2^owned · 2^addable` candidates, minus whatever
+    /// the configured [`DeviationSearch`] prunes.
+    pub fn best_deviation(&self, game: &Game, player: NodeId) -> (Option<Deviation>, SearchStats) {
+        search_player(game, player, &self.cache, self.search, None)
+    }
+
+    /// Checks whether the current game state is a (pure) Nash
+    /// equilibrium.
+    ///
+    /// Within a single check every `(player, state)` pair is distinct, so
+    /// the cache pays off across calls: a check right after converged
+    /// dynamics (or a repeated check) re-walks states the previous pass
+    /// explored and answers them from the memo.
+    pub fn check(&self, game: &Game) -> NashReport {
+        check_impl(game, &self.cache, self.search)
+    }
+}
+
+/// Finds the best unilateral deviation of `player`, if any.
+#[deprecated(
+    since = "0.10.0",
+    note = "use NashAnalyzer::new().best_deviation(game, player) — see DESIGN.md"
+)]
+pub fn best_deviation(game: &Game, player: NodeId, explored: &mut u64) -> Option<Deviation> {
+    let (best, stats) = search_player(
+        game,
+        player,
+        &DeviationCache::new(),
+        DeviationSearch::default(),
+        None,
+    );
+    *explored += stats.explored;
+    best
+}
+
+/// [`NashAnalyzer::best_deviation`] with a caller-owned cache.
+#[deprecated(
+    since = "0.10.0",
+    note = "use NashAnalyzer::best_deviation — the analyzer owns the cache; see DESIGN.md"
+)]
+pub fn best_deviation_cached(
+    game: &Game,
+    player: NodeId,
+    explored: &mut u64,
+    cache: &DeviationCache,
+) -> Option<Deviation> {
+    let (best, stats) = search_player(game, player, cache, DeviationSearch::default(), None);
+    *explored += stats.explored;
+    best
+}
+
+/// The full-control deviation search.
+#[deprecated(
+    since = "0.10.0",
+    note = "use NashAnalyzer::with_search(search).best_deviation(game, player) — see DESIGN.md"
+)]
+pub fn best_deviation_with(
+    game: &Game,
+    player: NodeId,
+    cache: &DeviationCache,
+    search: DeviationSearch,
+    ctx: Option<&EvalContext>,
+) -> (Option<Deviation>, SearchStats) {
+    search_player(game, player, cache, search, ctx)
+}
+
+/// Checks whether the current game state is a (pure) Nash equilibrium.
+#[deprecated(
+    since = "0.10.0",
+    note = "use NashAnalyzer::new().check(game) — see DESIGN.md"
+)]
+pub fn check_equilibrium(game: &Game) -> NashReport {
+    check_impl(game, &DeviationCache::new(), DeviationSearch::default())
+}
+
+/// [`NashAnalyzer::check`] with a caller-owned cache.
+#[deprecated(
+    since = "0.10.0",
+    note = "use NashAnalyzer::check — the analyzer owns the cache; see DESIGN.md"
+)]
+pub fn check_equilibrium_cached(game: &Game, cache: &DeviationCache) -> NashReport {
+    check_impl(game, cache, DeviationSearch::default())
+}
+
+/// [`NashAnalyzer::check`] under explicit [`DeviationSearch`] knobs.
+#[deprecated(
+    since = "0.10.0",
+    note = "use NashAnalyzer::with_search(search).check(game) — see DESIGN.md"
+)]
+pub fn check_equilibrium_with(
+    game: &Game,
+    cache: &DeviationCache,
+    search: DeviationSearch,
+) -> NashReport {
+    check_impl(game, cache, search)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -806,7 +918,7 @@ mod tests {
             link_cost: 1.0,
             ..GameParams::default()
         };
-        let report = check_equilibrium(&Game::star(5, params));
+        let report = NashAnalyzer::new().check(&Game::star(5, params));
         assert!(
             report.is_equilibrium,
             "deviations found: {:?}",
@@ -822,7 +934,7 @@ mod tests {
                 zipf_s: s,
                 ..GameParams::default()
             };
-            let report = check_equilibrium(&Game::path(5, params));
+            let report = NashAnalyzer::new().check(&Game::path(5, params));
             assert!(
                 !report.is_equilibrium,
                 "path unexpectedly stable at s = {s}"
@@ -834,10 +946,10 @@ mod tests {
     fn path_endpoint_has_profitable_rewiring() {
         let params = GameParams::default();
         let game = Game::path(5, params);
-        let mut explored = 0;
-        let dev = best_deviation(&game, NodeId(0), &mut explored).expect("endpoint must deviate");
+        let (dev, stats) = NashAnalyzer::new().best_deviation(&game, NodeId(0));
+        let dev = dev.expect("endpoint must deviate");
         assert!(dev.gain() > 0.0);
-        assert!(explored > 0);
+        assert!(stats.explored > 0);
     }
 
     #[test]
@@ -851,7 +963,7 @@ mod tests {
             zipf_s: 0.5,
             ..GameParams::default()
         };
-        let report = check_equilibrium(&Game::circle(9, params));
+        let report = NashAnalyzer::new().check(&Game::circle(9, params));
         assert!(!report.is_equilibrium, "9-circle should admit a chord");
     }
 
@@ -869,7 +981,7 @@ mod tests {
             zipf_s: 1.0,
             ..GameParams::default()
         };
-        let report = check_equilibrium(&Game::circle(4, params));
+        let report = NashAnalyzer::new().check(&Game::circle(4, params));
         assert!(report.is_equilibrium, "deviations: {:?}", report.deviations);
     }
 
@@ -882,7 +994,7 @@ mod tests {
             zipf_s: 1.0,
             ..GameParams::default()
         };
-        let report = check_equilibrium(&Game::circle(4, params));
+        let report = NashAnalyzer::new().check(&Game::circle(4, params));
         assert!(!report.is_equilibrium);
         // The profitable move is dropping the owned edge, not adding one.
         assert!(report
@@ -895,7 +1007,7 @@ mod tests {
     fn disconnected_player_always_deviates() {
         let mut game = Game::new(3, GameParams::default());
         game.add_channel(NodeId(0), NodeId(1));
-        let report = check_equilibrium(&game);
+        let report = NashAnalyzer::new().check(&game);
         assert!(!report.is_equilibrium);
         // Node 2 must connect somewhere (−∞ → finite).
         assert!(report.deviations.iter().any(|d| d.player == NodeId(2)));
@@ -904,7 +1016,7 @@ mod tests {
     #[test]
     fn deviation_gain_is_positive_by_construction() {
         let game = Game::path(4, GameParams::default());
-        let report = check_equilibrium(&game);
+        let report = NashAnalyzer::new().check(&game);
         for dev in &report.deviations {
             assert!(dev.gain() > 0.0 || dev.utility_before == f64::NEG_INFINITY);
         }
@@ -983,13 +1095,9 @@ mod tests {
                 },
             ),
         ] {
-            let reference = check_equilibrium_with(
-                &game,
-                &DeviationCache::new(),
-                DeviationSearch::exhaustive(),
-            );
+            let reference = NashAnalyzer::exhaustive().check(&game);
             for config in configs {
-                let report = check_equilibrium_with(&game, &DeviationCache::new(), config);
+                let report = NashAnalyzer::with_search(config).check(&game);
                 assert_eq!(
                     report.is_equilibrium, reference.is_equilibrium,
                     "{config:?}"
@@ -1013,7 +1121,7 @@ mod tests {
             link_cost: 1.0,
             ..GameParams::default()
         };
-        let report = check_equilibrium(&Game::star(6, params));
+        let report = NashAnalyzer::new().check(&Game::star(6, params));
         assert!(report.is_equilibrium);
         assert!(
             report.bound_pruned > report.explored,

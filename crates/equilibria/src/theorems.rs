@@ -135,7 +135,7 @@ pub fn theorem11_threshold(a: f64, b: f64, l: f64, max_n: usize) -> Option<usize
 mod tests {
     use super::*;
     use crate::game::{Game, GameParams};
-    use crate::nash::check_equilibrium;
+    use crate::nash::NashAnalyzer;
     use lcg_core::utility::HopCharging;
     use lcg_core::zipf::ZipfVariant;
 
@@ -224,7 +224,9 @@ mod tests {
                 zipf_variant: ZipfVariant::Averaged,
                 hop_charging: HopCharging::Intermediaries,
             };
-            let actual = check_equilibrium(&Game::star(n, params)).is_equilibrium;
+            let actual = NashAnalyzer::new()
+                .check(&Game::star(n, params))
+                .is_equilibrium;
             if predicted {
                 assert!(
                     actual,

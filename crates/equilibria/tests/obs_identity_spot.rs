@@ -5,7 +5,7 @@
 //! too.
 
 use lcg_equilibria::game::{Game, GameParams};
-use lcg_equilibria::nash::{check_equilibrium_with, DeviationCache, DeviationSearch};
+use lcg_equilibria::nash::NashAnalyzer;
 
 #[test]
 fn equilibrium_verdict_identical_with_obs_enabled() {
@@ -19,7 +19,7 @@ fn equilibrium_verdict_identical_with_obs_enabled() {
             ..GameParams::default()
         },
     );
-    let run = || check_equilibrium_with(&game, &DeviationCache::new(), DeviationSearch::default());
+    let run = || NashAnalyzer::new().check(&game);
 
     lcg_obs::set_enabled(false);
     let off = run();

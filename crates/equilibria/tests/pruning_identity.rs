@@ -5,7 +5,7 @@
 //! candidate the reference evaluates.
 
 use lcg_equilibria::game::{Game, GameParams};
-use lcg_equilibria::nash::{check_equilibrium_with, Deviation, DeviationCache, DeviationSearch};
+use lcg_equilibria::nash::{Deviation, DeviationSearch, NashAnalyzer};
 
 fn grid() -> Vec<(&'static str, Game)> {
     let mut games = Vec::new();
@@ -64,10 +64,8 @@ fn accelerated_search_is_verdict_and_deviation_identical_on_the_theorem_grid() {
             game.params().b,
             game.params().link_cost
         );
-        let exhaustive =
-            check_equilibrium_with(&game, &DeviationCache::new(), DeviationSearch::exhaustive());
-        let pruned =
-            check_equilibrium_with(&game, &DeviationCache::new(), DeviationSearch::default());
+        let exhaustive = NashAnalyzer::exhaustive().check(&game);
+        let pruned = NashAnalyzer::new().check(&game);
         assert_eq!(
             pruned.is_equilibrium, exhaustive.is_equilibrium,
             "{label}: verdict"
@@ -135,10 +133,9 @@ fn each_acceleration_is_independently_identical() {
         },
     ];
     for (shape, game) in slice {
-        let reference =
-            check_equilibrium_with(&game, &DeviationCache::new(), DeviationSearch::exhaustive());
+        let reference = NashAnalyzer::exhaustive().check(&game);
         for config in configs {
-            let report = check_equilibrium_with(&game, &DeviationCache::new(), config);
+            let report = NashAnalyzer::with_search(config).check(&game);
             let label = format!("{shape} under {config:?}");
             assert_eq!(report.is_equilibrium, reference.is_equilibrium, "{label}");
             assert_same_deviations(&label, &report.deviations, &reference.deviations);
@@ -158,9 +155,8 @@ fn stable_star_regime_prunes_aggressively() {
     // of each leaf's 2 · 2^(n−2) candidates, and the incremental engine
     // should answer the surviving ones without full Brandes passes.
     let game = Game::star(10, stable_star_params());
-    let exhaustive =
-        check_equilibrium_with(&game, &DeviationCache::new(), DeviationSearch::exhaustive());
-    let pruned = check_equilibrium_with(&game, &DeviationCache::new(), DeviationSearch::default());
+    let exhaustive = NashAnalyzer::exhaustive().check(&game);
+    let pruned = NashAnalyzer::new().check(&game);
     assert!(pruned.is_equilibrium);
     assert!(exhaustive.is_equilibrium);
     assert!(

@@ -4,11 +4,11 @@
 //!
 //! Thm 8 (star), Thm 10 (path) and Thm 11 (circle) are each validated in
 //! the direction the proofs support: where the analytic condition
-//! certifies (in)stability, `check_equilibrium` must agree. The sweep also
+//! certifies (in)stability, [`NashAnalyzer::check`] must agree. The sweep also
 //! pins the sequential/parallel identity of the checker's verdicts.
 
 use lcg_equilibria::game::{Game, GameParams};
-use lcg_equilibria::nash::check_equilibrium;
+use lcg_equilibria::nash::NashAnalyzer;
 use lcg_equilibria::theorems::{theorem11_threshold, theorem8_conditions, theorem9_sufficient};
 
 fn params(s: f64, a: f64, b: f64, l: f64) -> GameParams {
@@ -59,7 +59,9 @@ fn theorem8_matches_checker_exactly_in_the_balanced_regime() {
                 (4.0, 0.1, 0.25),
             ] {
                 let predicted = theorem8_conditions(n, s, a, b, l).all_hold();
-                let actual = check_equilibrium(&Game::star(n, params(s, a, b, l))).is_equilibrium;
+                let actual = NashAnalyzer::new()
+                    .check(&Game::star(n, params(s, a, b, l)))
+                    .is_equilibrium;
                 assert_eq!(
                     predicted, actual,
                     "Thm 8 and checker disagree at n={n} s={s} a={a} b={b} l={l}"
@@ -90,7 +92,9 @@ fn theorem8_divergence_is_confined_to_the_revenue_dominated_corner() {
     for (n, s, a, b, l) in grid() {
         total += 1;
         let predicted = theorem8_conditions(n, s, a, b, l).all_hold();
-        let actual = check_equilibrium(&Game::star(n, params(s, a, b, l))).is_equilibrium;
+        let actual = NashAnalyzer::new()
+            .check(&Game::star(n, params(s, a, b, l)))
+            .is_equilibrium;
         if predicted != actual {
             mismatches.push((n, s, a, b, l));
         }
@@ -118,7 +122,7 @@ fn theorem9_sufficient_condition_implies_checker_stability() {
             continue;
         }
         fired += 1;
-        let actual = check_equilibrium(&Game::star(n, params(s, a, b, l)));
+        let actual = NashAnalyzer::new().check(&Game::star(n, params(s, a, b, l)));
         assert!(
             actual.is_equilibrium,
             "Thm 9 fired at n={n} s={s} a={a} b={b} l={l} but a deviation exists"
@@ -133,7 +137,7 @@ fn theorem10_path_is_never_an_equilibrium_across_the_sweep() {
         // Paths need at least 3 nodes for an interior; reuse the grid's
         // parameters on n+2 nodes so endpoints have something to rewire to.
         let game = Game::path(n + 2, params(s, a, b, l));
-        let actual = check_equilibrium(&game);
+        let actual = NashAnalyzer::new().check(&game);
         assert!(
             !actual.is_equilibrium,
             "Thm 10 says the path is never stable, yet n={} s={s} a={a} b={b} l={l} held",
@@ -151,7 +155,7 @@ fn theorem11_chord_threshold_predicts_circle_instability() {
             panic!("cheap links must cross within the searched range");
         };
         for n in n0..=9 {
-            let actual = check_equilibrium(&Game::circle(n, params(0.5, a, b, l)));
+            let actual = NashAnalyzer::new().check(&Game::circle(n, params(0.5, a, b, l)));
             assert!(
                 !actual.is_equilibrium,
                 "Thm 11 predicts a profitable chord on the {n}-circle (threshold {n0}, \
@@ -170,9 +174,9 @@ fn equilibrium_verdicts_are_identical_at_one_and_eight_workers() {
     ];
     for (i, game) in games.iter().enumerate() {
         lcg_parallel::set_max_threads(1);
-        let seq = check_equilibrium(game);
+        let seq = NashAnalyzer::new().check(game);
         lcg_parallel::set_max_threads(8);
-        let par = check_equilibrium(game);
+        let par = NashAnalyzer::new().check(game);
         lcg_parallel::set_max_threads(0);
         assert_eq!(seq, par, "game {i}: sequential and 8-worker reports differ");
         // `PartialEq` on f64 fields is exact, but make the bit-identity of

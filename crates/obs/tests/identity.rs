@@ -10,7 +10,7 @@
 use lcg_core::strategy::Strategy;
 use lcg_core::utility::{RevenueMode, UtilityOracle, UtilityParams};
 use lcg_equilibria::game::{Game, GameParams};
-use lcg_equilibria::nash::{check_equilibrium_with, DeviationCache, DeviationSearch, NashReport};
+use lcg_equilibria::nash::{DeviationSearch, NashAnalyzer, NashReport};
 use lcg_graph::betweenness::weighted_node_betweenness;
 use lcg_graph::generators::{self, Topology};
 use lcg_graph::NodeId;
@@ -125,7 +125,7 @@ fn deviation_search_bit_identical() {
         ("exhaustive", DeviationSearch::exhaustive()),
     ] {
         let (off, on): (NashReport, NashReport) =
-            off_then_on(|| check_equilibrium_with(&game, &DeviationCache::new(), search));
+            off_then_on(|| NashAnalyzer::with_search(search).check(&game));
         assert_eq!(
             off.is_equilibrium, on.is_equilibrium,
             "{label}: verdict diverged with obs on"

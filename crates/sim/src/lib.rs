@@ -22,9 +22,15 @@
 //! * [`rebalance`] — off-chain cycle rebalancing (the paper's \[30\]).
 //! * [`snapshot`] — synthetic Lightning-like snapshots (scale-free
 //!   topology, log-normal capacities) substituting for real LN data.
-//! * [`engine`] — discrete-event replay producing [`engine::SimReport`]s
-//!   (success rates, per-edge usage, per-node fee flows) used to
-//!   cross-validate the analytic estimators.
+//! * [`engine`] — discrete-event replay behind the [`engine::Simulation`]
+//!   builder, producing [`engine::SimReport`]s (success rates, per-edge
+//!   usage, per-node fee flows) used to cross-validate the analytic
+//!   estimators.
+//! * [`faults`] — deterministic, seed-reproducible fault injection
+//!   ([`faults::FaultPlan`]): transient hop failures, stuck-HTLC
+//!   timeouts, node churn/offline windows, forced unilateral closures.
+//! * [`retry`] — sender-side [`retry::RetryPolicy`] (fixed/exponential
+//!   backoff, jitter, alternate-route re-selection).
 //!
 //! # Quick start
 //!
@@ -47,13 +53,18 @@
 
 pub mod channel;
 pub mod engine;
+pub mod faults;
 pub mod fees;
 pub mod htlc;
 pub mod network;
 pub mod onchain;
 pub mod rebalance;
+pub mod retry;
 pub mod snapshot;
 pub mod workload;
 
 pub use channel::{Channel, PaymentError, Side};
+pub use engine::{SimReport, Simulation};
+pub use faults::{FaultPlan, FaultRule, FaultStats};
 pub use network::{PaymentReceipt, Pcn, RouteError};
+pub use retry::{Backoff, RetryPolicy};

@@ -308,9 +308,47 @@ impl Pcn {
         amount: f64,
         rng: &mut R,
     ) -> Option<Vec<EdgeId>> {
-        let reduced = self.reduced_graph(amount);
+        self.sample_shortest_path_filtered(s, r, amount, |_| true, |_| true, rng)
+    }
+
+    /// [`Pcn::sample_shortest_path`] restricted to edges accepted by
+    /// `edge_ok` whose endpoints are both accepted by `node_ok`, on top of
+    /// the capacity filter. The fault-injection engine routes through this
+    /// to avoid offline nodes and hops that already failed a payment;
+    /// all-pass filters reproduce the unfiltered sampler exactly
+    /// (including its RNG draw sequence).
+    ///
+    /// Returns `None` if `r` is unreachable in the filtered subgraph.
+    pub fn sample_shortest_path_filtered<R: Rng + ?Sized>(
+        &self,
+        s: NodeId,
+        r: NodeId,
+        amount: f64,
+        edge_ok: impl Fn(EdgeId) -> bool,
+        node_ok: impl Fn(NodeId) -> bool,
+        rng: &mut R,
+    ) -> Option<Vec<EdgeId>> {
+        let reduced = self.graph.filter_edges(|e, u, v, eb| {
+            eb.balance + 1e-9 >= amount && edge_ok(e) && node_ok(u) && node_ok(v)
+        });
         let tree = bfs::bfs(&reduced, s);
         sample_path_from_tree(&reduced, &tree, r, rng)
+    }
+
+    /// Live channels as `(forward, backward)` edge pairs, in ascending
+    /// forward-edge order (each channel listed once, oriented by its
+    /// lower-indexed edge).
+    pub fn channels(&self) -> Vec<ChannelId> {
+        self.graph
+            .edge_ids()
+            .filter_map(|e| {
+                let rev = self.reverse_edge(e)?;
+                (e.index() < rev.index()).then_some(ChannelId {
+                    forward: e,
+                    backward: rev,
+                })
+            })
+            .collect()
     }
 
     /// Executes a multi-hop payment of `amount` from `s` to `r` along a

@@ -1,0 +1,195 @@
+//! Sender-side retry policies for failed payments.
+//!
+//! A [`RetryPolicy`] gives the engine graceful degradation under the
+//! faults injected by [`crate::faults`]: a failed attempt may be retried
+//! up to `max_attempts` total tries, after a fixed or exponential
+//! [`Backoff`] (optionally jittered from the fault-owned RNG stream, so
+//! policies never perturb route sampling). Each retry re-selects a route
+//! through the capacity-reduced subgraph while avoiding hops that already
+//! failed, which is what lets senders route around transient failures.
+
+use serde::{Deserialize, Serialize};
+
+/// Delay schedule between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Backoff {
+    /// Retry immediately.
+    #[default]
+    None,
+    /// Constant delay between attempts.
+    Fixed {
+        /// Delay in simulation-time units.
+        delay: f64,
+    },
+    /// `initial · factor^(k−1)` before the `k`-th retry, capped at `max`.
+    Exponential {
+        /// Delay before the first retry.
+        initial: f64,
+        /// Multiplier per further retry (≥ 1).
+        factor: f64,
+        /// Upper bound on any single delay.
+        max: f64,
+    },
+}
+
+/// How a sender reacts to a failed payment attempt.
+///
+/// # Examples
+///
+/// ```
+/// use lcg_sim::retry::RetryPolicy;
+///
+/// let none = RetryPolicy::none();
+/// assert!(none.is_none());
+/// let policy = RetryPolicy::exponential(4, 0.5, 2.0, 3.0).with_jitter(0.1);
+/// assert_eq!(policy.max_attempts, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per payment (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay schedule between attempts.
+    pub backoff: Backoff,
+    /// Multiplicative jitter half-width in `[0, 1)`: each delay is scaled
+    /// by a uniform factor from `[1 − jitter, 1 + jitter)` drawn from the
+    /// fault RNG stream. Zero disables jitter (and its draws).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every payment gets exactly one attempt (the legacy
+    /// engine's behavior).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Backoff::None,
+            jitter: 0.0,
+        }
+    }
+
+    /// Up to `max_attempts` tries with a constant `delay` between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is 0 or `delay` is negative/non-finite.
+    pub fn fixed(max_attempts: u32, delay: f64) -> Self {
+        assert!(max_attempts >= 1, "max_attempts must be at least 1");
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "backoff delay {delay} must be finite and non-negative"
+        );
+        RetryPolicy {
+            max_attempts,
+            backoff: Backoff::Fixed { delay },
+            jitter: 0.0,
+        }
+    }
+
+    /// Up to `max_attempts` tries with exponential backoff
+    /// `initial · factor^(k−1)` capped at `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is 0, any delay parameter is
+    /// negative/non-finite, or `factor < 1`.
+    pub fn exponential(max_attempts: u32, initial: f64, factor: f64, max: f64) -> Self {
+        assert!(max_attempts >= 1, "max_attempts must be at least 1");
+        assert!(
+            initial.is_finite() && initial >= 0.0 && max.is_finite() && max >= 0.0,
+            "backoff delays must be finite and non-negative"
+        );
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "backoff factor {factor} must be >= 1"
+        );
+        RetryPolicy {
+            max_attempts,
+            backoff: Backoff::Exponential {
+                initial,
+                factor,
+                max,
+            },
+            jitter: 0.0,
+        }
+    }
+
+    /// Sets the jitter half-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is outside `[0, 1)`.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&jitter),
+            "jitter {jitter} out of [0, 1)"
+        );
+        self.jitter = jitter;
+        self
+    }
+
+    /// Whether this policy ever retries.
+    pub fn is_none(&self) -> bool {
+        self.max_attempts <= 1
+    }
+
+    /// Unjittered delay before the `k`-th retry (`k ≥ 1`).
+    pub(crate) fn base_delay(&self, k: u32) -> f64 {
+        match self.backoff {
+            Backoff::None => 0.0,
+            Backoff::Fixed { delay } => delay,
+            Backoff::Exponential {
+                initial,
+                factor,
+                max,
+            } => (initial * factor.powi(k.saturating_sub(1) as i32)).min(max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_single_attempt() {
+        let p = RetryPolicy::none();
+        assert!(p.is_none());
+        assert_eq!(p.base_delay(1), 0.0);
+        assert_eq!(RetryPolicy::default(), p);
+    }
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let p = RetryPolicy::fixed(3, 0.25);
+        assert!(!p.is_none());
+        assert_eq!(p.base_delay(1), 0.25);
+        assert_eq!(p.base_delay(2), 0.25);
+    }
+
+    #[test]
+    fn exponential_grows_and_caps() {
+        let p = RetryPolicy::exponential(5, 1.0, 2.0, 3.0);
+        assert_eq!(p.base_delay(1), 1.0);
+        assert_eq!(p.base_delay(2), 2.0);
+        assert_eq!(p.base_delay(3), 3.0); // 4.0 capped at 3.0
+        assert_eq!(p.base_delay(4), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_attempts_rejected() {
+        let _ = RetryPolicy::fixed(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1)")]
+    fn jitter_bounds_enforced() {
+        let _ = RetryPolicy::none().with_jitter(1.0);
+    }
+}

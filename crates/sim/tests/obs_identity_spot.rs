@@ -3,10 +3,12 @@
 //! The exhaustive differential suite lives in `crates/obs/tests/identity.rs`;
 //! this is the in-crate canary so an engine-side regression fails here too.
 
-use lcg_sim::engine::simulate;
+use lcg_sim::engine::Simulation;
+use lcg_sim::faults::FaultPlan;
 use lcg_sim::fees::FeeFunction;
 use lcg_sim::network::Pcn;
 use lcg_sim::onchain::CostModel;
+use lcg_sim::retry::RetryPolicy;
 use lcg_sim::workload::{PairWeights, WorkloadBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,6 +18,7 @@ fn sim_report_identical_with_obs_enabled() {
     let topo = lcg_graph::generators::star(6);
     // Both legs replay the same stream against a fresh network and a
     // re-seeded rng, so any divergence can only come from the obs switch.
+    // Faults and retries are on so their metric emission is exercised too.
     let run = || {
         let mut pcn = Pcn::from_topology(
             &topo,
@@ -25,7 +28,16 @@ fn sim_report_identical_with_obs_enabled() {
         );
         let mut rng = StdRng::seed_from_u64(11);
         let txs = WorkloadBuilder::new(PairWeights::uniform(7)).generate(150, &mut rng);
-        simulate(&mut pcn, &txs, &mut rng)
+        Simulation::new(&mut pcn)
+            .workload(&txs)
+            .seed(11)
+            .faults(
+                FaultPlan::none()
+                    .transient_edge_failure(0.05)
+                    .htlc_timeout(0.02, 3),
+            )
+            .retry(RetryPolicy::fixed(2, 0.01))
+            .run()
     };
 
     lcg_obs::set_enabled(false);

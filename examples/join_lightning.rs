@@ -16,7 +16,7 @@ use lightning_creation_games::core::greedy::greedy_fixed_lock;
 use lightning_creation_games::core::utility::{Objective, UtilityOracle, UtilityParams};
 use lightning_creation_games::core::TransactionModel;
 use lightning_creation_games::graph::generators;
-use lightning_creation_games::sim::engine::simulate;
+use lightning_creation_games::sim::engine::Simulation;
 use lightning_creation_games::sim::fees::{FeeFunction, TxSizeDistribution};
 use lightning_creation_games::sim::network::Pcn;
 use lightning_creation_games::sim::onchain::CostModel;
@@ -104,7 +104,7 @@ fn main() {
         .sender_rates(model.sender_rates())
         .sizes(TxSizeDistribution::Constant { size: 1.0 })
         .generate(40_000, &mut rng);
-    let result = simulate(&mut pcn, &txs, &mut rng);
+    let result = Simulation::new(&mut pcn).workload(&txs).seed(4242).run();
     println!("\n== simulator validation of the Algorithm 1 strategy ==");
     println!("  payments attempted : {}", result.attempted);
     println!("  success rate       : {:.4}", result.success_rate());

@@ -11,7 +11,7 @@
 use lightning_creation_games::core::zipf::ZipfVariant;
 use lightning_creation_games::core::TransactionModel;
 use lightning_creation_games::graph::generators;
-use lightning_creation_games::sim::engine::simulate;
+use lightning_creation_games::sim::engine::Simulation;
 use lightning_creation_games::sim::fees::{average_fee, FeeFunction, TxSizeDistribution};
 use lightning_creation_games::sim::network::Pcn;
 use lightning_creation_games::sim::onchain::CostModel;
@@ -59,7 +59,7 @@ fn main() {
                 .sender_rates(model.sender_rates())
                 .sizes(sizes)
                 .generate(20_000, &mut rng);
-            let report = simulate(&mut pcn, &txs, &mut rng);
+            let report = Simulation::new(&mut pcn).workload(&txs).seed(77).run();
             println!(
                 "{:<14} {:>10} {:>12.4} {:>14.4} {:>16}",
                 match fee_fn {

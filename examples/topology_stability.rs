@@ -8,7 +8,7 @@
 
 use lightning_creation_games::equilibria::best_response::run_dynamics;
 use lightning_creation_games::equilibria::game::{Game, GameParams};
-use lightning_creation_games::equilibria::nash::check_equilibrium;
+use lightning_creation_games::equilibria::nash::NashAnalyzer;
 use lightning_creation_games::equilibria::theorems::{theorem8_conditions, theorem9_sufficient};
 use lightning_creation_games::graph::NodeId;
 
@@ -41,7 +41,7 @@ fn main() {
         ("path(6)", Game::path(6, params)),
         ("circle(6)", Game::circle(6, params)),
     ] {
-        let report = check_equilibrium(&game);
+        let report = NashAnalyzer::new().check(&game);
         println!(
             "{name:<10} -> {}",
             if report.is_equilibrium {
@@ -84,7 +84,7 @@ fn main() {
     }
     println!("final topology: {}", describe(&game));
     if report.converged {
-        assert!(check_equilibrium(&game).is_equilibrium);
+        assert!(NashAnalyzer::new().check(&game).is_equilibrium);
         println!("(verified: the final state is a Nash equilibrium)");
     }
 

@@ -13,7 +13,7 @@ use lightning_creation_games::core::utility::{
 };
 use lightning_creation_games::core::TransactionModel;
 use lightning_creation_games::graph::generators;
-use lightning_creation_games::sim::engine::simulate;
+use lightning_creation_games::sim::engine::Simulation;
 use lightning_creation_games::sim::fees::{FeeFunction, TxSizeDistribution};
 use lightning_creation_games::sim::network::Pcn;
 use lightning_creation_games::sim::onchain::CostModel;
@@ -156,7 +156,7 @@ fn predicted_revenue_matches_simulation_after_joining() {
         .sender_rates(model.sender_rates())
         .sizes(TxSizeDistribution::Constant { size: 1.0 })
         .generate(60_000, &mut rng);
-    let report = simulate(&mut pcn, &txs, &mut rng);
+    let report = Simulation::new(&mut pcn).workload(&txs).seed(9001).run();
     assert!(report.success_rate() > 0.999, "no depletion expected");
 
     // Compare at the network's top three predicted earners (enough traffic

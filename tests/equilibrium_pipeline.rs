@@ -6,7 +6,7 @@
 
 use lightning_creation_games::equilibria::best_response::run_dynamics;
 use lightning_creation_games::equilibria::game::{Game, GameParams};
-use lightning_creation_games::equilibria::nash::check_equilibrium;
+use lightning_creation_games::equilibria::nash::NashAnalyzer;
 use lightning_creation_games::equilibria::theorems::{
     theorem11_threshold, theorem8_conditions, theorem9_sufficient,
 };
@@ -27,7 +27,7 @@ fn theorem8_sufficiency_spot_checks_n_at_least_5() {
                         zipf_s: s,
                         ..GameParams::default()
                     };
-                    let rep = check_equilibrium(&Game::star(n, params));
+                    let rep = NashAnalyzer::new().check(&Game::star(n, params));
                     assert!(
                         rep.is_equilibrium,
                         "Thm 8 over-promised at n={n} s={s} l={l}: {:?}",
@@ -53,7 +53,9 @@ fn theorem9_region_is_stable_in_the_game() {
                     ..GameParams::default()
                 };
                 assert!(
-                    check_equilibrium(&Game::star(n, params)).is_equilibrium,
+                    NashAnalyzer::new()
+                        .check(&Game::star(n, params))
+                        .is_equilibrium,
                     "Thm 9 over-promised at n={n} s={s}"
                 );
             }
@@ -72,7 +74,11 @@ fn circle_destabilizes_and_threshold_moves_with_cost() {
     };
     // Find the empirical threshold for cheap links; it must exist and the
     // asymptotic estimate must also exist.
-    let n0 = (4..=10).find(|&n| !check_equilibrium(&Game::circle(n, params_cheap)).is_equilibrium);
+    let n0 = (4..=10).find(|&n| {
+        !NashAnalyzer::new()
+            .check(&Game::circle(n, params_cheap))
+            .is_equilibrium
+    });
     assert!(n0.is_some(), "Thm 11: cheap-link circle must destabilize");
     assert!(theorem11_threshold(1.0, 1.0, 0.05, 10_000).is_some());
 }
@@ -90,7 +96,7 @@ fn dynamics_from_path_reach_a_verified_equilibrium() {
     let report = run_dynamics(&mut game, 30);
     assert!(!report.applied.is_empty(), "Thm 10: the path must move");
     if report.converged {
-        assert!(check_equilibrium(&game).is_equilibrium);
+        assert!(NashAnalyzer::new().check(&game).is_equilibrium);
         // Everyone stays connected in equilibrium (utility finite).
         for u in game.utilities() {
             assert!(u.is_finite());
@@ -109,12 +115,8 @@ fn star_hub_prefers_no_change_even_when_leaves_would_move() {
             ..GameParams::default()
         };
         let game = Game::star(5, params);
-        let mut explored = 0;
-        let hub_dev = lightning_creation_games::equilibria::nash::best_deviation(
-            &game,
-            lightning_creation_games::graph::NodeId(0),
-            &mut explored,
-        );
+        let (hub_dev, _) =
+            NashAnalyzer::new().best_deviation(&game, lightning_creation_games::graph::NodeId(0));
         assert!(hub_dev.is_none(), "hub found a deviation at l={l}");
     }
 }

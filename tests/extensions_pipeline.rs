@@ -8,7 +8,7 @@ use lightning_creation_games::core::utility::{UtilityOracle, UtilityParams};
 use lightning_creation_games::core::zipf::ZipfVariant;
 use lightning_creation_games::core::TransactionModel;
 use lightning_creation_games::equilibria::game::{Game, GameParams};
-use lightning_creation_games::equilibria::nash::check_equilibrium;
+use lightning_creation_games::equilibria::nash::NashAnalyzer;
 use lightning_creation_games::equilibria::pairwise::check_pairwise_stability;
 use lightning_creation_games::equilibria::welfare::social_welfare;
 use lightning_creation_games::graph::metrics;
@@ -150,12 +150,12 @@ fn nash_and_pairwise_agree_on_the_biased_star_but_not_the_path() {
     };
     // Star: stable under both concepts.
     let star = Game::star(5, params);
-    assert!(check_equilibrium(&star).is_equilibrium);
+    assert!(NashAnalyzer::new().check(&star).is_equilibrium);
     assert!(check_pairwise_stability(&star).is_stable);
     // Path: Nash-unstable (Thm 10's rewiring) yet pairwise-stable at low
     // traffic, because pairwise deviations cannot rewire.
     let path = Game::path(5, params);
-    assert!(!check_equilibrium(&path).is_equilibrium);
+    assert!(!NashAnalyzer::new().check(&path).is_equilibrium);
     assert!(check_pairwise_stability(&path).is_stable);
     // Welfare is computable on both.
     assert!(social_welfare(&star).total.is_finite());
